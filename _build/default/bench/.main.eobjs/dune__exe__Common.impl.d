@@ -1,0 +1,1 @@
+bench/common.ml: Array Printf Sys Unix Vod_core Vod_epf Vod_placement

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Common List Printf Unix Vod_core Vod_epf Vod_placement Vod_util Vod_workload

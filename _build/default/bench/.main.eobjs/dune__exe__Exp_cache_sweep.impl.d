@@ -1,0 +1,1 @@
+bench/exp_cache_sweep.ml: Common List Printf Vod_core Vod_sim Vod_util

@@ -1,0 +1,1 @@
+bench/exp_compare.ml: Array Common List Printf Vod_cache Vod_core Vod_placement Vod_sim Vod_util Vod_workload

@@ -1,0 +1,1 @@
+bench/exp_feasibility.ml: Common List Printf Vod_core Vod_placement Vod_topology Vod_util Vod_workload

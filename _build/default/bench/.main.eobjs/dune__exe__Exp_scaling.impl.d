@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Array Common Gc List Printf Sys Vod_core Vod_epf Vod_lp Vod_placement Vod_topology Vod_util

@@ -1,0 +1,1 @@
+bench/exp_trace.ml: Array Common Float List Printf Vod_core Vod_topology Vod_util Vod_workload

@@ -1,0 +1,1 @@
+bench/exp_update.ml: Common List Printf Vod_core Vod_sim Vod_util Vod_workload

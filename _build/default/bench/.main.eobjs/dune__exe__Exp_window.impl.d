@@ -1,0 +1,1 @@
+bench/exp_window.ml: Array Common Float List Printf Vod_cache Vod_core Vod_placement Vod_sim Vod_topology Vod_util Vod_workload

@@ -1,0 +1,1 @@
+bench/main.ml: Array Common Exp_ablation Exp_cache_sweep Exp_compare Exp_feasibility Exp_origin Exp_scaling Exp_trace Exp_update Exp_window Lazy List Micro Printf Sys

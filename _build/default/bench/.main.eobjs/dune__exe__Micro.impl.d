@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Common Hashtbl Instance List Measure Printf Staged Test Time Toolkit Vod_cache Vod_core Vod_facility Vod_placement Vod_topology Vod_util Vod_workload

@@ -1,0 +1,78 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. VII). Run all experiments:
+
+     dune exec bench/main.exe
+
+   or a subset:
+
+     dune exec bench/main.exe -- fig5 table3 ...
+
+   Experiment ids: fig2 fig3 fig4 fig5 (covers figs 5-9) fig10 (+table2)
+   fig11 fig12 fig13 table3 table4 table5 table6 micro.
+   Scale via VOD_SCALE=quick|default|full. *)
+
+let available =
+  [
+    ("fig2", "working-set sizes (also fig3, fig4 via 'trace')");
+    ("fig5", "MIP vs caching baselines: figs 5, 6, 7, 8, 9");
+    ("fig10", "MIP vs origin+LRU: fig 10 and Table II");
+    ("fig11", "feasibility region");
+    ("fig12", "complementary cache sweep");
+    ("fig13", "link capacity vs library size");
+    ("table3", "solver scaling vs simplex reference");
+    ("table4", "topology vs link capacity");
+    ("table5", "peak window size");
+    ("table6", "update frequency / estimation accuracy");
+    ("ablation", "solver design-choice ablations (pass order, warm start)");
+    ("micro", "bechamel kernel micro-benchmarks");
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let wants name =
+    match args with
+    | [] -> true
+    | _ ->
+        List.exists
+          (fun a ->
+            a = name
+            || (a = "trace" && List.mem name [ "fig2"; "fig3"; "fig4" ]))
+          args
+  in
+  if List.mem "--help" args || List.mem "-h" args then begin
+    print_endline "usage: main.exe [experiment ...]   (default: all)";
+    List.iter (fun (n, d) -> Printf.printf "  %-8s %s\n" n d) available;
+    exit 0
+  end;
+  Common.note "VOD_SCALE=%s | library %d videos | %d days | %.0f req/video/day"
+    (match Common.scale with
+    | Common.Quick -> "quick"
+    | Common.Default -> "default"
+    | Common.Full -> "full")
+    Common.sim_videos Common.days Common.requests_per_video_per_day;
+  let scenario = lazy (Common.backbone_scenario ()) in
+  let total, dt =
+    Common.timed (fun () ->
+        let ran = ref 0 in
+        let run_if name f =
+          if wants name then begin
+            incr ran;
+            let (), dt = Common.timed f in
+            Common.note "[%s done in %.1fs]" name dt
+          end
+        in
+        run_if "fig2" (fun () -> Exp_trace.run (Lazy.force scenario));
+        run_if "fig5" (fun () -> ignore (Exp_compare.run (Lazy.force scenario)));
+        run_if "fig10" (fun () -> Exp_origin.run (Lazy.force scenario));
+        run_if "fig11" (fun () -> Exp_feasibility.fig11_region ());
+        run_if "fig12" (fun () -> Exp_cache_sweep.run (Lazy.force scenario));
+        run_if "fig13" (fun () -> Exp_feasibility.fig13_library_growth ());
+        run_if "table3" (fun () -> Exp_scaling.run ());
+        run_if "table4" (fun () -> Exp_feasibility.table4_topology ());
+        run_if "table5" (fun () -> Exp_window.run ());
+        run_if "table6" (fun () -> Exp_update.run (Lazy.force scenario));
+        run_if "ablation" (fun () -> Exp_ablation.run ());
+        run_if "micro" (fun () -> Micro.run ());
+        !ran)
+  in
+  Common.note "\n%d experiment group(s) completed in %.1fs." total dt

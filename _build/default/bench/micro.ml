@@ -1,0 +1,90 @@
+(* Bechamel micro-benchmarks of the computational kernels behind each
+   paper exhibit: the per-video UFL block heuristics (the inner loop of
+   every EPF pass), the dual-ascent bound, one full EPF solve at toy
+   scale, the simplex reference, and the simulator's serve path. *)
+
+open Bechamel
+open Toolkit
+
+let block_fixture () =
+  let graph = Vod_topology.Topologies.ring_plus_chords ~name:"m" ~n:55 ~target_edges:76 ~seed:1 in
+  let sc =
+    Vod_core.Scenario.make ~days:7 ~requests_per_video_per_day:6.0 ~seed:9 ~graph
+      ~n_videos:200 ()
+  in
+  let demand = Vod_core.Scenario.demand_of_week sc ~day0:0 () in
+  let disk = Vod_core.Scenario.uniform_disk sc ~multiple:2.0 in
+  let inst =
+    Vod_placement.Instance.create ~graph ~catalog:sc.Vod_core.Scenario.catalog ~demand
+      ~disk_gb:disk
+      ~link_capacity_mbps:(Vod_placement.Instance.uniform_links graph 1000.0)
+      ()
+  in
+  let blocks = Vod_placement.Blocks.build_blocks inst in
+  (* The busiest block: the representative per-pass workload. *)
+  let busiest =
+    Array.fold_left
+      (fun (best : Vod_placement.Blocks.block) b ->
+        if Array.length b.Vod_placement.Blocks.clients
+           > Array.length best.Vod_placement.Blocks.clients
+        then b
+        else best)
+      blocks.(0) blocks
+  in
+  let prices = Array.init (Vod_placement.Instance.n_rows inst) (fun i -> 0.01 *. float_of_int (1 + (i mod 7))) in
+  (inst, busiest, prices, sc)
+
+let tests () =
+  let inst, block, prices, sc = block_fixture () in
+  let ufl = Vod_placement.Blocks.ufl_of_block inst block ~obj_price:1.0 ~row_price:prices in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  [
+    (* Table III's inner loop: one block optimization. *)
+    mk "table3/ufl_greedy_55fac" (fun () ->
+        ignore (Vod_facility.Ufl.greedy ufl));
+    mk "table3/ufl_local_search_55fac" (fun () ->
+        ignore (Vod_facility.Ufl.local_search ufl));
+    (* The lower-bound pass kernel. *)
+    mk "table3/ufl_dual_ascent_55fac" (fun () ->
+        ignore (Vod_facility.Ufl.dual_ascent ufl));
+    (* Figs. 5/6/10, Tables II/V/VI: the simulator's serve path. *)
+    mk "fig5/fleet_serve" (fun () ->
+        let fleet =
+          Vod_cache.Fleet.random_single ~paths:sc.Vod_core.Scenario.paths
+            ~catalog:sc.Vod_core.Scenario.catalog
+            ~disk_gb:(Array.make 55 10.0) ~policy:Vod_cache.Cache.Lru ~seed:3
+        in
+        for v = 0 to 49 do
+          ignore (Vod_cache.Fleet.serve fleet ~video:v ~vho:(v mod 55) ~now:(float_of_int v))
+        done);
+    (* Figs. 2/3: trace analytics kernels. *)
+    mk "fig2/working_set" (fun () ->
+        ignore
+          (Vod_workload.Stats.working_set sc.Vod_core.Scenario.trace
+             sc.Vod_core.Scenario.catalog ~vho:0 ~t0:0.0 ~t1:3600.0));
+    mk "fig3/cosine_similarity" (fun () ->
+        ignore
+          (Vod_workload.Stats.peak_interval_similarity sc.Vod_core.Scenario.trace
+             ~window_s:86_400.0));
+  ]
+
+let run () =
+  Common.section "Bechamel micro-benchmarks (kernel costs behind the experiments)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"vodopt" ~fmt:"%s %s" (tests ())) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.0f" e
+        | Some [] | None -> "?"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  Vod_util.Table.print ~align:Vod_util.Table.Left
+    ~header:[ "kernel"; "time per run (ns)" ]
+    (List.sort compare !rows)

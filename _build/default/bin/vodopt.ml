@@ -1,0 +1,287 @@
+(* vodopt — command-line front end.
+
+     vodopt stats     trace analytics (working set, similarity)
+     vodopt solve     solve one placement instance and report quality
+     vodopt simulate  replay a month against a distribution scheme
+     vodopt sweep     feasibility sweep: min disk per link capacity
+
+   Every command is deterministic given --seed. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+(* Common options *)
+
+let videos_t =
+  Arg.(value & opt int 1000 & info [ "videos"; "n" ] ~docv:"N" ~doc:"Catalog size.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let days_t = Arg.(value & opt int 28 & info [ "days" ] ~docv:"D" ~doc:"Trace length in days.")
+
+let rpv_t =
+  Arg.(
+    value
+    & opt float 8.0
+    & info [ "requests-per-video" ] ~docv:"R" ~doc:"Mean daily requests per video.")
+
+let disk_t =
+  Arg.(
+    value
+    & opt float 2.0
+    & info [ "disk" ] ~docv:"MULT" ~doc:"Aggregate disk as a multiple of the library size.")
+
+let link_t =
+  Arg.(
+    value
+    & opt float 1000.0
+    & info [ "link" ] ~docv:"MBPS" ~doc:"Uniform link capacity in Mb/s.")
+
+let passes_t =
+  Arg.(value & opt int 50 & info [ "passes" ] ~docv:"P" ~doc:"Max EPF passes.")
+
+let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let topology_t =
+  let topologies = [ "backbone"; "tiscali"; "sprint"; "ebone" ] in
+  Arg.(
+    value
+    & opt (enum (List.map (fun t -> (t, t)) topologies)) "backbone"
+    & info [ "topology" ] ~docv:"NET" ~doc:"Network: backbone, tiscali, sprint, ebone.")
+
+let topology_file_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "topology-file" ] ~docv:"FILE"
+        ~doc:"Load the network from an edge-list file instead of a built-in one.")
+
+let trace_file_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "trace" ] ~docv:"CSV"
+        ~doc:
+          "Load requests from a CSV trace (time_s,vho,video) instead of generating a synthetic one. Video ids must fit the --videos catalog.")
+
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"CSV" ~doc:"Export the trace to a CSV file.")
+
+let placement_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"CSV" ~doc:"Export the computed placement to a CSV file.")
+
+let graph_of ~topology ~topology_file =
+  match topology_file with
+  | Some path -> Vod_topology.Topologies.load_edge_list ~name:path ~path ()
+  | None -> (
+      match topology with
+      | "tiscali" -> Vod_topology.Topologies.tiscali ()
+      | "sprint" -> Vod_topology.Topologies.sprint ()
+      | "ebone" -> Vod_topology.Topologies.ebone ()
+      | _ -> Vod_topology.Topologies.backbone55 ())
+
+let scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () =
+  let graph = graph_of ~topology ~topology_file in
+  let sc =
+    Vod_core.Scenario.make ~days ~requests_per_video_per_day:rpv ~seed ~graph
+      ~n_videos:videos ()
+  in
+  match trace_file with
+  | None -> sc
+  | Some path ->
+      let trace =
+        Vod_workload.Trace_io.load_csv
+          ~n_vhos:(Vod_topology.Graph.n_nodes graph)
+          ~days path
+      in
+      Vod_workload.Trace.iter
+        (fun r ->
+          if r.Vod_workload.Trace.video < 0 || r.Vod_workload.Trace.video >= videos
+          then failwith "trace references a video outside the catalog; raise --videos")
+        trace;
+      { sc with Vod_core.Scenario.trace }
+
+(* ---- stats ---- *)
+
+let stats topology topology_file trace_file trace_out videos days rpv seed verbose =
+  setup_logs verbose;
+  let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
+  Option.iter
+    (fun path ->
+      Vod_workload.Trace_io.save_csv sc.Vod_core.Scenario.trace path;
+      Printf.printf "trace exported to %s\n" path)
+    trace_out;
+  let trace = sc.Vod_core.Scenario.trace in
+  Printf.printf "trace: %d requests, %d days, %d VHOs, library %.0f GB\n\n"
+    (Vod_workload.Trace.length trace) days
+    (Vod_topology.Graph.n_nodes sc.Vod_core.Scenario.graph)
+    (Vod_core.Scenario.library_gb sc);
+  let peak = Vod_workload.Stats.peak_hour trace in
+  Printf.printf "peak hour starts at day %.2f\n" (peak /. 86_400.0);
+  let n = Vod_topology.Graph.n_nodes sc.Vod_core.Scenario.graph in
+  let fracs =
+    Array.init n (fun vho ->
+        let _, gb =
+          Vod_workload.Stats.working_set trace sc.Vod_core.Scenario.catalog ~vho
+            ~t0:peak ~t1:(peak +. 3600.0)
+        in
+        gb /. Vod_core.Scenario.library_gb sc)
+  in
+  Printf.printf "peak-hour working set (disk share of library): max %.1f%%, mean %.1f%%\n"
+    (100.0 *. Vod_util.Stats_acc.max_elt fracs)
+    (100.0 *. Vod_util.Stats_acc.mean fracs);
+  List.iter
+    (fun (label, w) ->
+      let sims = Vod_workload.Stats.peak_interval_similarity trace ~window_s:w in
+      Printf.printf "request-mix similarity @ %-7s mean %.3f\n" label
+        (Vod_util.Stats_acc.mean sims))
+    [ ("30min", 1800.0); ("1h", 3600.0); ("1day", 86_400.0) ]
+
+(* ---- solve ---- *)
+
+let solve topology topology_file trace_file placement_out videos days rpv seed disk
+    link passes verbose =
+  setup_logs verbose;
+  let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
+  let demand = Vod_core.Scenario.demand_of_week sc ~day0:0 () in
+  let inst =
+    Vod_placement.Instance.create ~graph:sc.Vod_core.Scenario.graph
+      ~catalog:sc.Vod_core.Scenario.catalog ~demand
+      ~disk_gb:(Vod_core.Scenario.uniform_disk sc ~multiple:disk)
+      ~link_capacity_mbps:
+        (Vod_placement.Instance.uniform_links sc.Vod_core.Scenario.graph link)
+      ()
+  in
+  let params = { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = passes } in
+  let report = Vod_placement.Solve.solve ~params inst in
+  let sol = report.Vod_placement.Solve.solution in
+  Printf.printf "passes        %d\n" report.Vod_placement.Solve.passes;
+  Printf.printf "time          %.2f s\n" report.Vod_placement.Solve.seconds;
+  Printf.printf "LP objective  %.1f (violation %.2f%%)\n" report.Vod_placement.Solve.lp_objective
+    (100.0 *. report.Vod_placement.Solve.lp_violation);
+  Printf.printf "MIP objective %.1f (violation %.2f%%)\n" sol.Vod_placement.Solution.objective
+    (100.0 *. sol.Vod_placement.Solution.max_violation);
+  Printf.printf "lower bound   %.1f (gap %.1f%%)\n" sol.Vod_placement.Solution.lower_bound
+    (100.0 *. Vod_placement.Solution.gap sol);
+  let copies = Array.init videos (fun v -> Vod_placement.Solution.copies sol v) in
+  let total = Array.fold_left ( + ) 0 copies in
+  Printf.printf "copies        %d total (%.2f per video)\n" total
+    (float_of_int total /. float_of_int videos);
+  Option.iter
+    (fun path ->
+      Vod_placement.Solution_io.save_csv sol path;
+      Printf.printf "placement exported to %s\n" path)
+    placement_out
+
+(* ---- simulate ---- *)
+
+let scheme_t =
+  let schemes = [ "mip"; "lru"; "lfu"; "topk"; "origin" ] in
+  Arg.(
+    value
+    & opt (enum (List.map (fun s -> (s, s)) schemes)) "mip"
+    & info [ "scheme" ] ~docv:"S" ~doc:"Scheme: mip, lru, lfu, topk, origin.")
+
+let simulate topology topology_file trace_file videos days rpv seed disk link passes
+    scheme verbose =
+  setup_logs verbose;
+  let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
+  let cfg =
+    Vod_core.Pipeline.default_config ~scenario:sc
+      ~disk_gb:(Vod_core.Scenario.uniform_disk sc ~multiple:disk)
+      ~link_capacity_mbps:link
+  in
+  let mip =
+    {
+      Vod_core.Pipeline.default_mip with
+      Vod_core.Pipeline.engine =
+        { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = passes };
+    }
+  in
+  let scheme =
+    match scheme with
+    | "lru" -> Vod_core.Pipeline.Random_cache Vod_cache.Cache.Lru
+    | "lfu" -> Vod_core.Pipeline.Random_cache Vod_cache.Cache.Lfu
+    | "topk" -> Vod_core.Pipeline.Topk_lru 100
+    | "origin" -> Vod_core.Pipeline.Origin_lru 4
+    | _ -> Vod_core.Pipeline.Mip mip
+  in
+  let r = Vod_core.Pipeline.run cfg scheme in
+  let m = r.Vod_core.Pipeline.metrics in
+  Printf.printf "scheme           %s\n" r.Vod_core.Pipeline.scheme_name;
+  Printf.printf "requests         %d\n" m.Vod_sim.Metrics.requests;
+  Printf.printf "served locally   %.1f%%\n" (100.0 *. Vod_sim.Metrics.local_fraction m);
+  Printf.printf "peak link        %.0f Mb/s\n" (Vod_sim.Metrics.max_link_mbps m);
+  Printf.printf "peak aggregate   %.0f Mb/s\n" (Vod_sim.Metrics.max_aggregate_mbps m);
+  Printf.printf "total transfer   %.0f GB x hop\n" m.Vod_sim.Metrics.total_gb_hops;
+  Printf.printf "not cachable     %d\n" m.Vod_sim.Metrics.not_cachable;
+  List.iter
+    (fun (transfers, gb) ->
+      Printf.printf "placement update: %d videos moved (%.0f GB)\n" transfers gb)
+    r.Vod_core.Pipeline.migrations
+
+(* ---- sweep ---- *)
+
+let sweep topology topology_file videos days rpv seed link verbose =
+  setup_logs verbose;
+  let sc = scenario_of ?topology_file ~topology ~videos ~days ~rpv ~seed () in
+  let demand = Vod_core.Scenario.demand_of_week sc ~day0:0 () in
+  let graph = sc.Vod_core.Scenario.graph in
+  let lib = Vod_core.Scenario.library_gb sc in
+  let n = Vod_topology.Graph.n_nodes graph in
+  List.iter
+    (fun factor ->
+      let cap = factor *. link in
+      let result =
+        Vod_placement.Feasibility.min_disk_multiplier ~lo:1.05 ~hi:8.0 ~tol:0.08
+          ~graph ~catalog:sc.Vod_core.Scenario.catalog ~demand
+          ~link_capacity_mbps:cap
+          ~disk_of:(fun m -> Vod_placement.Instance.uniform_disk ~total_gb:(m *. lib) n)
+          ()
+      in
+      match result with
+      | Some m -> Printf.printf "link %6.0f Mb/s -> min disk %.2f x library\n%!" cap m
+      | None -> Printf.printf "link %6.0f Mb/s -> infeasible below 8 x library\n%!" cap)
+    [ 0.5; 1.0; 2.0; 4.0 ]
+
+(* ---- command wiring ---- *)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Trace analytics (working set, request-mix similarity)")
+    Term.(
+      const stats $ topology_t $ topology_file_t $ trace_file_t $ trace_out_t
+      $ videos_t $ days_t $ rpv_t $ seed_t $ verbose_t)
+
+let solve_cmd =
+  Cmd.v (Cmd.info "solve" ~doc:"Solve one placement instance")
+    Term.(
+      const solve $ topology_t $ topology_file_t $ trace_file_t $ placement_out_t
+      $ videos_t $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ verbose_t)
+
+let simulate_cmd =
+  Cmd.v (Cmd.info "simulate" ~doc:"Replay the trace against a distribution scheme")
+    Term.(
+      const simulate $ topology_t $ topology_file_t $ trace_file_t $ videos_t
+      $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ scheme_t $ verbose_t)
+
+let sweep_cmd =
+  Cmd.v (Cmd.info "sweep" ~doc:"Feasibility sweep: min disk per link capacity")
+    Term.(
+      const sweep $ topology_t $ topology_file_t $ videos_t $ days_t $ rpv_t
+      $ seed_t $ link_t $ verbose_t)
+
+let () =
+  let info =
+    Cmd.info "vodopt" ~version:"1.0.0"
+      ~doc:"Optimal content placement for a large-scale VoD system (CoNEXT 2010 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; solve_cmd; simulate_cmd; sweep_cmd ]))

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: List Printf Vod_core Vod_epf Vod_placement Vod_topology Vod_util Vod_workload

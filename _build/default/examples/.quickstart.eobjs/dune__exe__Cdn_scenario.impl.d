@@ -1,0 +1,1 @@
+examples/cdn_scenario.ml: List Printf Vod_cache Vod_core Vod_epf Vod_sim Vod_topology Vod_util Vod_workload

@@ -1,0 +1,1 @@
+examples/demand_estimation.ml: Array List Printf Vod_core Vod_epf Vod_sim Vod_util Vod_workload

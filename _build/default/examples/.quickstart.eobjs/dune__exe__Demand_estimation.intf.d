@@ -1,0 +1,1 @@
+examples/demand_estimation.mli:

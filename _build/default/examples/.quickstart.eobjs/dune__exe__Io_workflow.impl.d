@@ -1,0 +1,1 @@
+examples/io_workflow.ml: Array Filename Printf Sys Vod_cache Vod_core Vod_epf Vod_placement Vod_sim Vod_topology Vod_workload

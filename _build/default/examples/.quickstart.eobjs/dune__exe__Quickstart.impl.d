@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf String Vod_cache Vod_core Vod_placement Vod_sim Vod_topology Vod_workload

@@ -1,0 +1,1 @@
+lib/cache/fleet.ml: Array Cache Float Hashtbl List Printf Replica_index Vod_placement Vod_topology Vod_util Vod_workload

@@ -1,0 +1,1 @@
+lib/cache/fleet.mli: Cache Vod_placement Vod_topology Vod_workload

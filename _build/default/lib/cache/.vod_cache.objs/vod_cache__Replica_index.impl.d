@@ -1,0 +1,1 @@
+lib/cache/replica_index.ml: Array List Option Vod_topology

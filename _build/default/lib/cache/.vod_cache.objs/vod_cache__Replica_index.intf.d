@@ -1,0 +1,1 @@
+lib/cache/replica_index.mli: Vod_topology

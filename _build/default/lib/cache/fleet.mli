@@ -1,0 +1,74 @@
+(** A fleet = one content-distribution scheme across all VHOs: pinned
+    copies, per-VHO dynamic caches, the replica oracle and the serving
+    logic. The simulator calls [serve] per request (paper Sec. VII). *)
+
+type routing =
+  | Oracle_nearest
+  | Mip_routes of Vod_placement.Solution.t
+  | Region_origin of int array
+
+type t
+
+type outcome = {
+  server : int;
+  local : bool;
+  cache_hit : bool;
+  inserted : bool;
+  not_cachable : bool;
+}
+
+(** Scheme name for reports. *)
+val name : t -> string
+
+val n_vhos : t -> int
+
+val pinned_at : t -> video:int -> vho:int -> bool
+
+(** Pin a copy and register it with the oracle (idempotent). *)
+val pin : t -> video:int -> vho:int -> unit
+
+(** Pinned disk usage per VHO (GB). *)
+val pinned_gb : t -> float array
+
+(** Serve one request at [now]; updates caches, locks streaming entries,
+    maintains the replica index. Raises [Invalid_argument] if a video has
+    no replica anywhere under oracle routing. *)
+val serve : t -> video:int -> vho:int -> now:float -> outcome
+
+(** MIP placement + complementary per-VHO cache (GB each). *)
+val mip :
+  solution:Vod_placement.Solution.t ->
+  paths:Vod_topology.Paths.t ->
+  catalog:Vod_workload.Catalog.t ->
+  cache_gb:float array ->
+  t
+
+(** One random pinned copy per video, rest of the disk a cache. *)
+val random_single :
+  paths:Vod_topology.Paths.t ->
+  catalog:Vod_workload.Catalog.t ->
+  disk_gb:float array ->
+  policy:Cache.policy ->
+  seed:int ->
+  t
+
+(** Top-[k] pinned everywhere (busiest first per [ranked]), one random
+    copy for the rest, remaining disk an LRU cache. *)
+val topk :
+  k:int ->
+  ranked:int array ->
+  paths:Vod_topology.Paths.t ->
+  catalog:Vod_workload.Catalog.t ->
+  disk_gb:float array ->
+  seed:int ->
+  t
+
+(** [regions] origin servers at spread-out VHOs, each holding the full
+    library (storage not counted); per-VHO disks are pure LRU caches. *)
+val origin_regions :
+  regions:int ->
+  graph:Vod_topology.Graph.t ->
+  paths:Vod_topology.Paths.t ->
+  catalog:Vod_workload.Catalog.t ->
+  disk_gb:float array ->
+  t

@@ -1,0 +1,33 @@
+(* Global replica directory: which VHOs currently hold a copy of each
+   video (pinned or cached). This is the paper's *Oracle* (Sec. VII-A):
+   the caching baselines are always told the nearest location with a copy,
+   giving them their best case. *)
+
+type t = {
+  holders : int list array;  (* per video, unsorted small list *)
+}
+
+let create ~n_videos = { holders = Array.make n_videos [] }
+
+let add t ~video ~vho =
+  if not (List.mem vho t.holders.(video)) then
+    t.holders.(video) <- vho :: t.holders.(video)
+
+let remove t ~video ~vho =
+  t.holders.(video) <- List.filter (fun i -> i <> vho) t.holders.(video)
+
+let holders t ~video = t.holders.(video)
+
+let holds t ~video ~vho = List.mem vho t.holders.(video)
+
+(* Nearest holder by hop count under the fixed routing; [None] when the
+   video has no copy anywhere. *)
+let nearest t (paths : Vod_topology.Paths.t) ~video ~vho =
+  List.fold_left
+    (fun best i ->
+      let h = Vod_topology.Paths.hops paths ~src:i ~dst:vho in
+      match best with
+      | Some (_, bh) when bh <= h -> best
+      | Some _ | None -> Some (i, h))
+    None t.holders.(video)
+  |> Option.map fst

@@ -1,0 +1,20 @@
+(** Global replica directory — the paper's "Oracle" that tells every
+    scheme the nearest location currently holding a copy (Sec. VII-A). *)
+
+type t
+
+val create : n_videos:int -> t
+
+(** Register a holder (idempotent). *)
+val add : t -> video:int -> vho:int -> unit
+
+(** Remove a holder (no-op if absent). *)
+val remove : t -> video:int -> vho:int -> unit
+
+(** Current holders of a video. *)
+val holders : t -> video:int -> int list
+
+val holds : t -> video:int -> vho:int -> bool
+
+(** Nearest holder by hop count; [None] if the video has no copy. *)
+val nearest : t -> Vod_topology.Paths.t -> video:int -> vho:int -> int option

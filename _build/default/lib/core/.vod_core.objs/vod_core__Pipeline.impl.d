@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array List Printf Scenario Vod_cache Vod_epf Vod_placement Vod_sim Vod_topology Vod_workload

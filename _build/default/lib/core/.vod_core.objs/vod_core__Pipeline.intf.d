@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Scenario Vod_cache Vod_epf Vod_placement Vod_sim Vod_workload

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Vod_placement Vod_topology Vod_workload

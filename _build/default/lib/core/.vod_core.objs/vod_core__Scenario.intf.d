@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Vod_topology Vod_workload

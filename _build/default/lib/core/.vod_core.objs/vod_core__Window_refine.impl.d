@@ -1,0 +1,1 @@
+lib/core/window_refine.ml: Array Float Hashtbl List Scenario Vod_cache Vod_epf Vod_placement Vod_sim Vod_topology Vod_workload

@@ -1,0 +1,1 @@
+lib/core/window_refine.mli: Scenario Vod_epf Vod_placement

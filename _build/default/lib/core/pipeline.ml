@@ -1,0 +1,205 @@
+(* The end-to-end evaluation pipeline of the paper's Sec. VII: play a
+   month of requests against one distribution scheme, re-solving and
+   re-applying the MIP placement periodically (weekly by default) using
+   estimated demand, and record link loads and serving statistics after a
+   warm-up period. *)
+
+type mip_config = {
+  estimator : Vod_workload.Estimator.strategy;
+  cache_frac : float;     (* complementary-LRU share of each VHO's disk *)
+  update_days : int;      (* placement update period (7 = weekly) *)
+  engine : Vod_epf.Engine.params;
+}
+
+let default_mip =
+  {
+    estimator = Vod_workload.Estimator.Series_blockbuster;
+    cache_frac = 0.05;
+    update_days = 7;
+    engine = Vod_epf.Engine.default_params;
+  }
+
+type scheme =
+  | Mip of mip_config
+  | Random_cache of Vod_cache.Cache.policy
+  | Topk_lru of int
+  | Origin_lru of int   (* number of origin regions *)
+
+type config = {
+  scenario : Scenario.t;
+  disk_gb : float array;
+  link_capacity_mbps : float;
+  warmup_days : int;
+  n_windows : int;
+  window_s : float;
+  bin_s : float;
+  seed : int;
+}
+
+let default_config ~scenario ~disk_gb ~link_capacity_mbps =
+  {
+    scenario;
+    disk_gb;
+    link_capacity_mbps;
+    warmup_days = 9;
+    n_windows = 2;
+    window_s = 3600.0;
+    bin_s = 300.0;
+    seed = 7;
+  }
+
+type result = {
+  scheme_name : string;
+  metrics : Vod_sim.Metrics.t;
+  solves : Vod_placement.Solve.report list;   (* newest first *)
+  migrations : (int * float) list;            (* per update: transfers, GB *)
+}
+
+let scheme_name cfg = function
+  | Mip m ->
+      Printf.sprintf "mip[%s,cache=%.0f%%,update=%dd]"
+        (Vod_workload.Estimator.name m.estimator)
+        (100.0 *. m.cache_frac) m.update_days
+  | Random_cache Vod_cache.Cache.Lru -> "random+lru"
+  | Random_cache Vod_cache.Cache.Lfu -> "random+lfu"
+  | Random_cache (Vod_cache.Cache.Lrfu lambda) ->
+      Printf.sprintf "random+lrfu(%.2g)" lambda
+  | Topk_lru k -> Printf.sprintf "top%d+lru" k
+  | Origin_lru r -> ignore cfg; Printf.sprintf "origin%d+lru" r
+
+let fresh_metrics cfg =
+  let horizon_s =
+    float_of_int cfg.scenario.Scenario.trace.Vod_workload.Trace.days
+    *. Vod_workload.Trace.seconds_per_day
+  in
+  Vod_sim.Metrics.create
+    ~n_links:(Vod_topology.Graph.n_links cfg.scenario.Scenario.graph)
+    ~n_vhos:(Vod_topology.Graph.n_nodes cfg.scenario.Scenario.graph)
+    ~horizon_s ~bin_s:cfg.bin_s
+    ~record_from:(float_of_int cfg.warmup_days *. Vod_workload.Trace.seconds_per_day)
+    ()
+
+(* Demand ranking from the first week (what a provider would know before
+   the measured period), used by Top-K. *)
+let first_week_ranking cfg =
+  let sc = cfg.scenario in
+  let demand = Scenario.demand_of_week sc ~day0:0 ~n_windows:cfg.n_windows ~window_s:cfg.window_s () in
+  Vod_workload.Demand.rank_by_demand demand
+
+(* Solve a placement for the week starting at [day0] from a (predicted or
+   actual) request batch. *)
+let solve_week cfg (m : mip_config) requests ~day0 =
+  let sc = cfg.scenario in
+  let demand =
+    Vod_workload.Demand.of_requests sc.Scenario.catalog
+      ~n_vhos:(Vod_topology.Graph.n_nodes sc.Scenario.graph)
+      ~day0 ~days:7 ~n_windows:cfg.n_windows ~window_s:cfg.window_s requests
+  in
+  let pinned_disk =
+    Array.map (fun d -> d *. (1.0 -. m.cache_frac)) cfg.disk_gb
+  in
+  let inst =
+    Vod_placement.Instance.create ~graph:sc.Scenario.graph
+      ~catalog:sc.Scenario.catalog ~demand ~disk_gb:pinned_disk
+      ~link_capacity_mbps:
+        (Vod_placement.Instance.uniform_links sc.Scenario.graph cfg.link_capacity_mbps)
+      ()
+  in
+  Vod_placement.Solve.solve ~params:m.engine inst
+
+let run_mip cfg (m : mip_config) =
+  let sc = cfg.scenario in
+  let trace = sc.Scenario.trace in
+  let metrics = fresh_metrics cfg in
+  let cache_gb = Array.map (fun d -> d *. m.cache_frac) cfg.disk_gb in
+  (* Update schedule: bootstrap placement at day 0 (computed from the
+     actual first week — the paper's initial pre-population, done before
+     the service opens), then periodic updates from day 7 on, driven by
+     the estimator. *)
+  let updates = ref [] in
+  let d = ref 7 in
+  while !d < trace.Vod_workload.Trace.days do
+    updates := !d :: !updates;
+    d := !d + m.update_days
+  done;
+  let updates = List.rev !updates in
+  let boot_requests = Vod_workload.Trace.between_days trace ~day_lo:0 ~day_hi:7 in
+  let boot = solve_week cfg m boot_requests ~day0:0 in
+  let solves = ref [ boot ] in
+  let migrations = ref [] in
+  let current = ref boot.Vod_placement.Solve.solution in
+  let fleet_of sol =
+    Vod_cache.Fleet.mip ~solution:sol ~paths:sc.Scenario.paths
+      ~catalog:sc.Scenario.catalog ~cache_gb
+  in
+  let fleet = ref (fleet_of !current) in
+  let play ~day_lo ~day_hi =
+    let batch = Vod_workload.Trace.between_days trace ~day_lo ~day_hi in
+    Vod_sim.Sim.play metrics sc.Scenario.paths sc.Scenario.catalog !fleet batch
+  in
+  let segment_bounds = updates @ [ trace.Vod_workload.Trace.days ] in
+  let prev_day = ref 0 in
+  List.iter
+    (fun day ->
+      play ~day_lo:!prev_day ~day_hi:day;
+      if day < trace.Vod_workload.Trace.days then begin
+        let predicted =
+          Vod_workload.Estimator.predict m.estimator sc.Scenario.catalog trace
+            ~week_start:day
+        in
+        let report = solve_week cfg m predicted ~day0:day in
+        solves := report :: !solves;
+        migrations :=
+          Vod_placement.Solution.migration ~old_sol:!current
+            ~new_sol:report.Vod_placement.Solve.solution sc.Scenario.catalog
+          :: !migrations;
+        current := report.Vod_placement.Solve.solution;
+        fleet := fleet_of !current
+      end;
+      prev_day := day)
+    segment_bounds;
+  {
+    scheme_name = scheme_name cfg (Mip m);
+    metrics;
+    solves = !solves;
+    migrations = List.rev !migrations;
+  }
+
+let run_cache_scheme cfg scheme =
+  let sc = cfg.scenario in
+  let metrics = fresh_metrics cfg in
+  let fleet =
+    match scheme with
+    | Random_cache policy ->
+        Vod_cache.Fleet.random_single ~paths:sc.Scenario.paths
+          ~catalog:sc.Scenario.catalog ~disk_gb:cfg.disk_gb ~policy
+          ~seed:cfg.seed
+    | Topk_lru k ->
+        Vod_cache.Fleet.topk ~k ~ranked:(first_week_ranking cfg)
+          ~paths:sc.Scenario.paths ~catalog:sc.Scenario.catalog
+          ~disk_gb:cfg.disk_gb ~seed:cfg.seed
+    | Origin_lru regions ->
+        Vod_cache.Fleet.origin_regions ~regions ~graph:sc.Scenario.graph
+          ~paths:sc.Scenario.paths ~catalog:sc.Scenario.catalog
+          ~disk_gb:cfg.disk_gb
+    | Mip _ -> invalid_arg "run_cache_scheme: use run_mip"
+  in
+  Vod_sim.Sim.play metrics sc.Scenario.paths sc.Scenario.catalog fleet
+    sc.Scenario.trace.Vod_workload.Trace.requests;
+  {
+    scheme_name = scheme_name cfg scheme;
+    metrics;
+    solves = [];
+    migrations = [];
+  }
+
+let run cfg = function
+  | Mip m -> run_mip cfg m
+  | (Random_cache _ | Topk_lru _ | Origin_lru _) as scheme ->
+      run_cache_scheme cfg scheme
+
+(* Latest placement of a result, if any (for Figs. 7/8 analyses). *)
+let last_solution result =
+  match result.solves with
+  | [] -> None
+  | report :: _ -> Some report.Vod_placement.Solve.solution

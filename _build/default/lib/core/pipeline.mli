@@ -1,0 +1,57 @@
+(** End-to-end evaluation pipeline (paper Sec. VII): play a month of
+    requests against one distribution scheme, with periodic MIP re-solves
+    driven by demand estimation, and record metrics after warm-up. *)
+
+type mip_config = {
+  estimator : Vod_workload.Estimator.strategy;
+  cache_frac : float;   (** complementary-LRU share of each VHO's disk *)
+  update_days : int;    (** placement update period (7 = weekly) *)
+  engine : Vod_epf.Engine.params;
+}
+
+(** Series+blockbuster estimation, 5% cache, weekly updates. *)
+val default_mip : mip_config
+
+type scheme =
+  | Mip of mip_config
+  | Random_cache of Vod_cache.Cache.policy
+  | Topk_lru of int
+  | Origin_lru of int
+
+type config = {
+  scenario : Scenario.t;
+  disk_gb : float array;
+  link_capacity_mbps : float;
+  warmup_days : int;
+  n_windows : int;
+  window_s : float;
+  bin_s : float;
+  seed : int;
+}
+
+(** 9 warm-up days, |T| = 2 one-hour windows, 5-minute bins. *)
+val default_config :
+  scenario:Scenario.t ->
+  disk_gb:float array ->
+  link_capacity_mbps:float ->
+  config
+
+type result = {
+  scheme_name : string;
+  metrics : Vod_sim.Metrics.t;
+  solves : Vod_placement.Solve.report list;  (** newest first; MIP only *)
+  migrations : (int * float) list;           (** per update: transfers, GB *)
+}
+
+(** Run one scheme over the scenario's full trace. *)
+val run : config -> scheme -> result
+
+(** Human-readable scheme label. *)
+val scheme_name : config -> scheme -> string
+
+(** Demand ranking from the first week (Top-K's input; exposed for
+    benches). *)
+val first_week_ranking : config -> int array
+
+(** The most recent placement of a result, if the scheme was MIP. *)
+val last_solution : result -> Vod_placement.Solution.t option

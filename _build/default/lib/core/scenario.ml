@@ -1,0 +1,67 @@
+(* Ready-made experiment scenarios: a topology, a catalog and a month-long
+   trace, wired together the way the paper's evaluation sets them up
+   (Sec. VII-A): a 55-VHO backbone, population-proportional demand, and an
+   aggregate disk budget expressed as a multiple of the library size. *)
+
+type t = {
+  graph : Vod_topology.Graph.t;
+  paths : Vod_topology.Paths.t;
+  catalog : Vod_workload.Catalog.t;
+  trace : Vod_workload.Trace.t;
+}
+
+let make ?(days = 28) ?(requests_per_video_per_day = 5.0) ?(seed = 42) ~graph
+    ~n_videos () =
+  let catalog =
+    Vod_workload.Catalog.generate
+      (Vod_workload.Catalog.default_params ~n:n_videos ~days ~seed:(seed + 1))
+  in
+  let trace =
+    Vod_workload.Tracegen.generate
+      (Vod_workload.Tracegen.default_params ~catalog
+         ~populations:graph.Vod_topology.Graph.populations
+         ~mean_daily_requests:(requests_per_video_per_day *. float_of_int n_videos)
+         ~seed:(seed + 2))
+  in
+  let paths = Vod_topology.Paths.compute graph in
+  { graph; paths; catalog; trace }
+
+(* The paper's default setting: the 55-VHO backbone. *)
+let backbone ?days ?requests_per_video_per_day ?(seed = 42) ~n_videos () =
+  let graph = Vod_topology.Topologies.backbone55 () in
+  make ?days ?requests_per_video_per_day ~seed ~graph ~n_videos ()
+
+let library_gb t = Vod_workload.Catalog.total_size_gb t.catalog
+
+(* Uniform per-VHO disk with aggregate = [multiple] x library size. *)
+let uniform_disk t ~multiple =
+  let n = Vod_topology.Graph.n_nodes t.graph in
+  Vod_placement.Instance.uniform_disk ~total_gb:(multiple *. library_gb t) n
+
+(* The paper's heterogeneous split (Sec. VII-C): large VHOs have twice the
+   disk of medium ones, which have twice the disk of small ones; class
+   sizes 12 / 19 / 24 scaled to the node count, classes assigned by
+   population rank. *)
+let hetero_disk t ~multiple =
+  let n = Vod_topology.Graph.n_nodes t.graph in
+  let total = multiple *. library_gb t in
+  let order = Vod_topology.Topologies.top_population_nodes t.graph n in
+  let n_large = max 1 (n * 12 / 55) in
+  let n_medium = max 1 (n * 19 / 55) in
+  let weight = Array.make n 1.0 in
+  Array.iteri
+    (fun rank vho ->
+      weight.(vho) <- (if rank < n_large then 4.0 else if rank < n_large + n_medium then 2.0 else 1.0))
+    order;
+  let wsum = Array.fold_left ( +. ) 0.0 weight in
+  Array.map (fun w -> total *. w /. wsum) weight
+
+(* Demand inputs for a one-week placement period starting at [day0], from
+   actual trace requests (bootstrap / oracle use). *)
+let demand_of_week t ~day0 ?(n_windows = 2) ?(window_s = 3600.0) () =
+  let requests =
+    Vod_workload.Trace.between_days t.trace ~day_lo:day0 ~day_hi:(day0 + 7)
+  in
+  Vod_workload.Demand.of_requests t.catalog
+    ~n_vhos:(Vod_topology.Graph.n_nodes t.graph)
+    ~day0 ~days:7 ~n_windows ~window_s requests

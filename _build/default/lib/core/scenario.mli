@@ -1,0 +1,45 @@
+(** Ready-made experiment scenarios: topology + catalog + month-long trace
+    wired together the way the paper's evaluation sets them up
+    (Sec. VII-A). *)
+
+type t = {
+  graph : Vod_topology.Graph.t;
+  paths : Vod_topology.Paths.t;
+  catalog : Vod_workload.Catalog.t;
+  trace : Vod_workload.Trace.t;
+}
+
+(** Build a scenario over an arbitrary graph. Defaults: 28 days, 5
+    requests per video per day. *)
+val make :
+  ?days:int ->
+  ?requests_per_video_per_day:float ->
+  ?seed:int ->
+  graph:Vod_topology.Graph.t ->
+  n_videos:int ->
+  unit ->
+  t
+
+(** The paper's default 55-VHO backbone scenario. *)
+val backbone :
+  ?days:int ->
+  ?requests_per_video_per_day:float ->
+  ?seed:int ->
+  n_videos:int ->
+  unit ->
+  t
+
+(** Total library size in GB. *)
+val library_gb : t -> float
+
+(** Uniform per-VHO disk with aggregate = [multiple] x library size. *)
+val uniform_disk : t -> multiple:float -> float array
+
+(** The paper's heterogeneous large/medium/small VHO split (Sec. VII-C)
+    with 4:2:1 disk weights, aggregate = [multiple] x library size. *)
+val hetero_disk : t -> multiple:float -> float array
+
+(** Demand inputs for the week starting at [day0], from actual requests
+    (|T| = 2 one-hour peak windows by default). *)
+val demand_of_week :
+  t -> day0:int -> ?n_windows:int -> ?window_s:float -> unit -> Vod_workload.Demand.t

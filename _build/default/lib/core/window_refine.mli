@@ -1,0 +1,33 @@
+(** Iterative peak-window refinement (paper Sec. VI-B): solve with the
+    initial peak windows, replay the period, and keep adding the worst
+    overloaded un-enforced window to |T| until no link exceeds capacity by
+    more than [tolerance] — the paper's "general case" procedure. *)
+
+type round_info = {
+  windows : (float * float) array;
+  report : Vod_placement.Solve.report;
+  worst_overload : float;   (** max realized load/capacity - 1, outside |T| *)
+  worst_window : float option;
+}
+
+type result = {
+  rounds : round_info list;  (** oldest first *)
+  final : Vod_placement.Solve.report;
+  converged : bool;
+}
+
+(** [solve sc ~day0 ~disk_gb ~link_capacity_mbps ()] refines the week
+    starting at [day0]. Defaults: 2 initial one-hour windows, up to 4
+    rounds, 5 % overload tolerance. *)
+val solve :
+  ?params:Vod_epf.Engine.params ->
+  ?max_rounds:int ->
+  ?tolerance:float ->
+  ?n_windows:int ->
+  ?window_s:float ->
+  Scenario.t ->
+  day0:int ->
+  disk_gb:float array ->
+  link_capacity_mbps:float ->
+  unit ->
+  result

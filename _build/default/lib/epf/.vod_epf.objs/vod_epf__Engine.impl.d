@@ -1,0 +1,1 @@
+lib/epf/engine.ml: Array Float List Logs Option Sparse Vod_util

@@ -1,0 +1,1 @@
+lib/epf/engine.mli: Sparse

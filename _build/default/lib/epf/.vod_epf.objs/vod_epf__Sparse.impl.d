@@ -1,0 +1,1 @@
+lib/epf/sparse.ml: Array Float Hashtbl List Option

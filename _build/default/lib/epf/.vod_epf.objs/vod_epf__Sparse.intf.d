@@ -1,0 +1,1 @@
+lib/epf/sparse.mli:

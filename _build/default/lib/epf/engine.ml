@@ -1,0 +1,587 @@
+(* The exponential potential function (EPF) / Lagrangian decomposition
+   engine — the paper's Appendix, Algorithm 1.
+
+   The engine is generic: a *block* is anything with an [optimize] oracle
+   (return the block's best point under given prices) and a [lower_bound]
+   oracle (a valid lower bound on the block minimum under given prices).
+   For the VoD placement problem, blocks are per-video fractional UFL
+   subproblems (built in [Vod_placement.Blocks]); the engine never sees
+   videos, disks or links, only abstract coupling rows.
+
+   State per block is a convex combination of oracle points — steps
+   z^k <- (1-tau) z^k + tau zhat only ever mix oracle outputs, so z^k stays
+   in the block polytope by construction. Aggregate row usage and the
+   dense price vector are maintained incrementally, which is what makes a
+   full pass linear in total block support size (the paper's Table III
+   linear scaling). *)
+
+type 'a point = {
+  obj : float;         (* objective contribution c^k z^k *)
+  usage : Sparse.t;    (* coupling-row footprint A^k z^k *)
+  data : 'a;           (* opaque payload (e.g. the UFL solution) *)
+}
+
+type 'a oracle = {
+  optimize : obj_price:float -> row_price:float array -> 'a point;
+      (* best block point under priced cost obj_price*c + row_price . A *)
+  optimize_strong : obj_price:float -> row_price:float array -> 'a point;
+      (* slower, higher-quality variant used by rounding and polish; may
+         equal [optimize] *)
+  lower_bound : row_price:float array -> float;
+      (* valid lower bound on min over the block polytope of
+         c z + row_price . A z  (objective price normalized to 1) *)
+  initial : unit -> 'a point;
+      (* a sane starting point whose objective sets the problem's scale;
+         for placement blocks, the best single-facility solution *)
+}
+
+type params = {
+  epsilon : float;           (* target tolerance (paper: 0.01) *)
+  gamma : float;             (* exponent factor, ~1 *)
+  rho : float;               (* dual smoothing in [0,1) *)
+  max_passes : int;
+  feasibility_only : bool;   (* ignore the objective row: pure FEAS probe *)
+  seed : int;
+  line_search_iters : int;
+  shuffle : bool;            (* fresh random block order each pass; the
+                                paper reports 40x fewer passes vs fixed *)
+  polish_passes : int;       (* post-rounding integer improvement sweeps *)
+}
+
+let default_params =
+  {
+    epsilon = 0.01;
+    gamma = 1.0;
+    rho = 0.5;
+    max_passes = 60;
+    feasibility_only = false;
+    seed = 1;
+    line_search_iters = 24;
+    shuffle = true;
+    polish_passes = 2;
+  }
+
+type 'a outcome = {
+  combos : ('a point * float) list array;  (* final convex combo per block *)
+  objective : float;
+  lower_bound : float;
+  max_violation : float;     (* max relative coupling violation *)
+  row_usage : float array;
+  passes : int;
+  epsilon_feasible : bool;
+  converged : bool;          (* epsilon-feasible and within (1+eps) of LB *)
+  pre_round_objective : float;   (* fractional LP objective before rounding *)
+  pre_round_violation : float;   (* max relative violation before rounding *)
+  history : (float * float * float) array;
+      (* per-pass (objective, lower bound, max violation) trace *)
+}
+
+(* exp with a linear extension above the overflow guard: continuous,
+   monotone and convex, so the 1-D line search stays well-behaved even
+   when a trial step is wildly infeasible. *)
+let safe_exp x = if x <= 500.0 then exp x else exp 500.0 *. (x -. 499.0)
+
+let src = Logs.Src.create "vod.epf" ~doc:"EPF decomposition solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type 'a state = {
+  p : params;
+  capacities : float array;
+  oracles : 'a oracle array;
+  combos : ('a point * float) list array;
+  blk_obj : float array;
+  blk_usage : Sparse.t array;
+  usage : float array;             (* dense aggregate row usage *)
+  mutable objective : float;
+  mutable b_target : float;        (* the objective row's "capacity" B *)
+  mutable lb : float;
+  mutable delta : float;
+  mutable alpha : float;
+  prices : float array;            (* pi_i = exp(alpha r_i) / b_i *)
+  mutable price_obj : float;       (* pi_0 *)
+  mutable scale : float;           (* objective magnitude; floors b_target *)
+  mutable ub : float;              (* best epsilon-feasible objective seen *)
+  mutable theta : float;           (* target-push factor for the B control *)
+  mutable freeze_target : bool;    (* stabilization: stop moving B *)
+  smoothed : float array;          (* smoothed duals pi-bar *)
+  mutable smoothed_obj : float;
+  rng : Vod_util.Rng.t;
+  scratch : float array;           (* per-pass buffer for pi-bar / pi-bar_0 *)
+}
+
+let n_rows st = Array.length st.capacities
+
+let rel_infeas st i = (st.usage.(i) /. st.capacities.(i)) -. 1.0
+
+let obj_infeas st =
+  if st.p.feasibility_only then neg_infinity
+  else (st.objective /. st.b_target) -. 1.0
+
+let max_coupling_infeas st =
+  let m = n_rows st in
+  let d = ref neg_infinity in
+  for i = 0 to m - 1 do
+    let r = rel_infeas st i in
+    if r > !d then d := r
+  done;
+  !d
+
+let refresh_prices st =
+  for i = 0 to n_rows st - 1 do
+    st.prices.(i) <- safe_exp (st.alpha *. rel_infeas st i) /. st.capacities.(i)
+  done;
+  st.price_obj <-
+    (if st.p.feasibility_only then 0.0
+     else safe_exp (st.alpha *. obj_infeas st) /. st.b_target)
+
+let refresh_alpha st =
+  let m = float_of_int (n_rows st + 1) in
+  (* Floor delta so alpha stays finite as the solution approaches
+     feasibility. *)
+  let floor_delta = st.p.epsilon /. 4.0 in
+  st.delta <- Float.max st.delta floor_delta;
+  st.alpha <- st.p.gamma *. log (m +. 1.0) /. st.delta
+
+(* Exact recomputation of per-block caches and aggregates, run once per
+   pass to stop incremental drift. *)
+let recompute st =
+  Array.fill st.usage 0 (n_rows st) 0.0;
+  st.objective <- 0.0;
+  Array.iteri
+    (fun k combo ->
+      let u = ref Sparse.empty and o = ref 0.0 in
+      List.iter
+        (fun ((pt : _ point), w) ->
+          u := Sparse.axpby 1.0 !u w pt.usage;
+          o := !o +. (w *. pt.obj))
+        combo;
+      st.blk_usage.(k) <- !u;
+      st.blk_obj.(k) <- !o;
+      Sparse.add_into st.usage 1.0 !u;
+      st.objective <- st.objective +. !o)
+    st.combos
+
+(* Potential restricted to the rows touched by a step of size tau along
+   (delta_usage, delta_obj); the untouched rows are constant in tau. *)
+let local_potential st ~delta_usage ~delta_obj tau =
+  let acc = ref 0.0 in
+  Sparse.iter
+    (fun i dv ->
+      let u = st.usage.(i) +. (tau *. dv) in
+      acc := !acc +. safe_exp (st.alpha *. ((u /. st.capacities.(i)) -. 1.0)))
+    delta_usage;
+  if not st.p.feasibility_only then begin
+    let o = st.objective +. (tau *. delta_obj) in
+    acc := !acc +. safe_exp (st.alpha *. ((o /. st.b_target) -. 1.0))
+  end;
+  !acc
+
+(* Ternary search for the minimizing step size; the potential along a
+   segment is a sum of convex functions of tau, hence convex. *)
+let line_search st ~delta_usage ~delta_obj =
+  let f = local_potential st ~delta_usage ~delta_obj in
+  let lo = ref 0.0 and hi = ref 1.0 in
+  for _ = 1 to st.p.line_search_iters do
+    let m1 = !lo +. ((!hi -. !lo) /. 3.0) in
+    let m2 = !hi -. ((!hi -. !lo) /. 3.0) in
+    if f m1 <= f m2 then hi := m2 else lo := m1
+  done;
+  let tau = 0.5 *. (!lo +. !hi) in
+  (* The endpoints are often optimal (fully adopt / fully reject); pick
+     the best of the three to avoid ternary-search dithering. *)
+  let candidates = [ 0.0; tau; 1.0 ] in
+  List.fold_left
+    (fun best t -> if f t < f best then t else best)
+    0.0 candidates
+
+(* Drop negligible-weight points and cap the combination size (keeping the
+   heaviest); renormalizing keeps the iterate a convex combination of
+   block points, i.e. inside the block polytope. Without the cap, small
+   line-search steps would grow combos by one point per pass forever. *)
+let max_combo_points = 20
+
+let prune_combo combo =
+  let kept = List.filter (fun (_, w) -> w > 2e-3) combo in
+  let kept =
+    if List.length kept <= max_combo_points then kept
+    else begin
+      let sorted = List.sort (fun (_, w1) (_, w2) -> compare w2 w1) kept in
+      List.filteri (fun i _ -> i < max_combo_points) sorted
+    end
+  in
+  let total = List.fold_left (fun s (_, w) -> s +. w) 0.0 kept in
+  if total <= 0.0 then combo
+  else List.map (fun (p, w) -> (p, w /. total)) kept
+
+type pass_stats = {
+  mutable steps : int;        (* blocks that moved *)
+  mutable tau_sum : float;
+  mutable skipped : int;      (* oracle returned the current point *)
+}
+
+let step_block ?stats st k =
+  let oracle = st.oracles.(k) in
+  let hat = oracle.optimize ~obj_price:st.price_obj ~row_price:st.prices in
+  let delta_usage = Sparse.sub hat.usage st.blk_usage.(k) in
+  let delta_obj = hat.obj -. st.blk_obj.(k) in
+  if Array.length delta_usage = 0 && Float.abs delta_obj < 1e-12 then
+    Option.iter (fun s -> s.skipped <- s.skipped + 1) stats
+  else begin
+    let tau = line_search st ~delta_usage ~delta_obj in
+    Option.iter
+      (fun s ->
+        if tau > 1e-9 then begin
+          s.steps <- s.steps + 1;
+          s.tau_sum <- s.tau_sum +. tau
+        end)
+      stats;
+    if tau > 1e-9 then begin
+      let combo =
+        List.map (fun (p, w) -> (p, w *. (1.0 -. tau))) st.combos.(k)
+      in
+      st.combos.(k) <- prune_combo ((hat, tau) :: combo);
+      st.blk_usage.(k) <- Sparse.axpby (1.0 -. tau) st.blk_usage.(k) tau hat.usage;
+      st.blk_obj.(k) <- ((1.0 -. tau) *. st.blk_obj.(k)) +. (tau *. hat.obj);
+      st.objective <- st.objective +. (tau *. delta_obj);
+      (* Incremental aggregate + price update on the touched rows only. *)
+      Sparse.iter
+        (fun i dv ->
+          st.usage.(i) <- st.usage.(i) +. (tau *. dv);
+          st.prices.(i) <-
+            safe_exp (st.alpha *. rel_infeas st i) /. st.capacities.(i))
+        delta_usage;
+      if not st.p.feasibility_only then
+        st.price_obj <- safe_exp (st.alpha *. obj_infeas st) /. st.b_target
+    end
+  end
+
+(* Lagrangian lower-bound pass with the smoothed duals (Algorithm 1,
+   step 15): LR(lambda) = sum_k min_block (c + lambda A / lambda_0) z
+                          - (lambda_R . b) / lambda_0. *)
+(* Evaluate the Lagrangian bound LR(lambda) for multipliers
+   lambda_i = mult * duals_i / duals_obj, and fold it into st.lb. Any
+   nonnegative multipliers yield a valid bound. *)
+let try_duals st ?(mult = 1.0) duals duals_obj =
+  if duals_obj > 0.0 then begin
+    let m = n_rows st in
+    for i = 0 to m - 1 do
+      st.scratch.(i) <- mult *. duals.(i) /. duals_obj
+    done;
+    let sum = ref 0.0 in
+    Array.iter
+      (fun (oracle : _ oracle) ->
+        sum := !sum +. oracle.lower_bound ~row_price:st.scratch)
+      st.oracles;
+    for i = 0 to m - 1 do
+      sum := !sum -. (st.scratch.(i) *. st.capacities.(i))
+    done;
+    if !sum > st.lb then st.lb <- !sum
+  end
+
+let lower_bound_pass st =
+  if st.p.feasibility_only then ()
+  else begin
+    (* Both the smoothed duals (Algorithm 1) and the instantaneous ones
+       are valid multipliers; take the better bound. *)
+    try_duals st st.smoothed st.smoothed_obj;
+    try_duals st st.prices st.price_obj
+  end
+
+(* Objective-target control. The paper sets B <- LB, which works when the
+   block lower bounds are near-exact; with heuristic dual-ascent bounds
+   (often 10-25% weak) that would pin the objective row's violation r_0 at
+   the duality gap, and the coupling rows equalize to r_0 — a permanent
+   infeasibility plateau. Instead B trails the achievable objective like a
+   trust region: when the iterate is epsilon-feasible, push B a notch
+   below the current objective; when infeasible, back off. LB remains a
+   hard floor, and the reported optimality gap is still measured against
+   the true Lagrangian bound. *)
+let update_target st ~dc =
+  if st.freeze_target then refresh_prices st
+  else if not st.p.feasibility_only then begin
+    if dc <= st.p.epsilon then begin
+      if st.objective < st.ub then st.ub <- st.objective;
+      st.theta <- Float.min 0.20 (st.theta *. 1.5);
+      st.b_target <- Float.max st.lb (st.objective *. (1.0 -. st.theta))
+    end
+    else if dc <= 3.0 *. st.p.epsilon then
+      (* Mild overshoot: keep pushing, half strength. *)
+      st.b_target <- Float.max st.lb (st.objective *. (1.0 -. (st.theta /. 2.0)))
+    else begin
+      st.theta <- Float.max 0.01 (st.theta /. 2.0);
+      st.b_target <-
+        Float.max st.lb (Float.min (st.b_target *. 1.05) st.objective)
+    end;
+    st.b_target <- Float.max st.b_target (0.01 *. st.scale);
+    (* Pushing B below the current objective makes the objective row
+       "violated" by ~theta; the temperature must match that scale or the
+       potential is too stiff for any mass to migrate and the iterate
+       freezes. Re-derive prices since delta/B changed. *)
+    let r0 = (st.objective /. st.b_target) -. 1.0 in
+    if r0 > st.delta then begin
+      st.delta <- r0;
+      refresh_alpha st
+    end;
+    refresh_prices st
+  end
+
+let update_smoothed st =
+  let rho = st.p.rho in
+  for i = 0 to n_rows st - 1 do
+    st.smoothed.(i) <- (rho *. st.smoothed.(i)) +. ((1.0 -. rho) *. st.prices.(i))
+  done;
+  st.smoothed_obj <- (rho *. st.smoothed_obj) +. ((1.0 -. rho) *. st.price_obj)
+
+let init (p : params) ~capacities ~oracles =
+  Array.iter
+    (fun b -> if b <= 0.0 then invalid_arg "Engine: capacities must be positive")
+    capacities;
+  if Array.length oracles = 0 then invalid_arg "Engine: no blocks";
+  let m = Array.length capacities in
+  let zero_prices = Array.make m 0.0 in
+  let combos = Array.map (fun oracle -> [ (oracle.initial (), 1.0) ]) oracles in
+  let st =
+    {
+      p;
+      capacities;
+      oracles;
+      combos;
+      blk_obj = Array.make (Array.length oracles) 0.0;
+      blk_usage = Array.make (Array.length oracles) Sparse.empty;
+      usage = Array.make m 0.0;
+      objective = 0.0;
+      b_target = 1.0;
+      lb = 0.0;
+      delta = 1.0;
+      alpha = 1.0;
+      prices = Array.make m 0.0;
+      price_obj = 0.0;
+      scale = 1.0;
+      ub = infinity;
+      theta = 0.10;
+      freeze_target = false;
+      smoothed = Array.make m 0.0;
+      smoothed_obj = 0.0;
+      rng = Vod_util.Rng.create p.seed;
+      scratch = Array.make m 0.0;
+    }
+  in
+  recompute st;
+  (* The initial (single-facility) objective is the natural magnitude of
+     the problem: it upper-bounds OPT's order and anchors B until real
+     Lagrangian bounds arrive. *)
+  st.scale <- Float.max st.objective 1e-9;
+  (* Initial lower bound: all multipliers zero relaxes every coupling
+     constraint, so the sum of unpriced block minima is valid. *)
+  if not p.feasibility_only then begin
+    let sum = ref 0.0 in
+    Array.iter
+      (fun (oracle : _ oracle) -> sum := !sum +. oracle.lower_bound ~row_price:zero_prices)
+      oracles;
+    st.lb <- !sum;
+    st.b_target <- Float.max st.lb st.scale
+  end;
+  st.delta <- Float.max (max_coupling_infeas st) p.epsilon;
+  refresh_alpha st;
+  refresh_prices st;
+  Array.blit st.prices 0 st.smoothed 0 m;
+  st.smoothed_obj <- st.price_obj;
+  st
+
+(* One full pass over all blocks in a fresh random order (the paper found
+   reshuffling each pass cuts the pass count by 40x versus a fixed
+   order). *)
+let run_pass st =
+  let n = Array.length st.oracles in
+  let order =
+    if st.p.shuffle then Vod_util.Rng.permutation st.rng n
+    else Array.init n (fun i -> i)
+  in
+  let stats = { steps = 0; tau_sum = 0.0; skipped = 0 } in
+  Array.iter (fun k -> step_block ~stats st k) order;
+  Log.debug (fun m ->
+      m "  steps=%d avg_tau=%.4f skipped=%d price_obj=%.3g" stats.steps
+        (if stats.steps = 0 then 0.0 else stats.tau_sum /. float_of_int stats.steps)
+        stats.skipped st.price_obj);
+  recompute st;
+  let dc = max_coupling_infeas st in
+  (* Delta schedule: ratchet the scale down by a constant factor each
+     pass (the paper's phased delta-shrink), but never below the current
+     coupling infeasibility would warrant — if the iterate overshoots and
+     violations grow, delta re-expands so the line searches don't freeze
+     under an overly stiff exponent. The objective row's relative gap is
+     excluded: with a heuristic (dual-ascent) lower bound it can stay at
+     tens of percent, and pinning alpha to it would stall the feasibility
+     drive. *)
+  let floor = if st.freeze_target then st.p.epsilon else st.p.epsilon /. 4.0 in
+  let target = Float.max dc floor in
+  st.delta <- Float.max (Float.min target (0.90 *. st.delta)) floor;
+  st.delta <- Float.max st.delta (0.25 *. target);
+  refresh_alpha st;
+  refresh_prices st;
+  update_smoothed st;
+  lower_bound_pass st;
+  update_target st ~dc;
+  dc
+
+(* Rounding pass (paper Sec. V-D). Every fractional block (a combination
+   of >1 points) is snapped to one integral point, in random order, with
+   prices updated as loads shift. For each block we consider its own combo
+   points — each was a block optimum at some stage — plus a fresh oracle
+   point at current prices, and pick the candidate with the lowest priced
+   cost. Snapping to combo members keeps the rounded solution close to
+   the fractional one, which is what keeps the post-rounding violation
+   small (the paper reports < 1-4%). *)
+let round_pass ?(only_fractional = true) st =
+  let snap k (hat : _ point) =
+    Sparse.add_into st.usage (-1.0) st.blk_usage.(k);
+    Sparse.add_into st.usage 1.0 hat.usage;
+    st.objective <- st.objective -. st.blk_obj.(k) +. hat.obj;
+    (* Update prices on every touched row so later blocks see the shift. *)
+    let refresh_row i _ =
+      st.prices.(i) <- safe_exp (st.alpha *. rel_infeas st i) /. st.capacities.(i)
+    in
+    Sparse.iter refresh_row st.blk_usage.(k);
+    Sparse.iter refresh_row hat.usage;
+    st.combos.(k) <- [ (hat, 1.0) ];
+    st.blk_usage.(k) <- hat.usage;
+    st.blk_obj.(k) <- hat.obj
+  in
+  (* A candidate's merit is the *actual* potential after a full (tau = 1)
+     step to it — not its linearized priced cost. The linearization is
+     blind to how a multi-copy point shifts row loads past capacity
+     (prices are frozen inside one oracle call), which is exactly how a
+     popular video could overflow disks during rounding. *)
+  let merit k (pt : _ point) =
+    let delta_usage = Sparse.sub pt.usage st.blk_usage.(k) in
+    let delta_obj = pt.obj -. st.blk_obj.(k) in
+    (* Potential *change* of the full step: candidates touch different row
+       sets, so raw local potentials are not comparable. *)
+    local_potential st ~delta_usage ~delta_obj 1.0
+    -. local_potential st ~delta_usage ~delta_obj 0.0
+  in
+  Log.debug (fun m ->
+      m "round: alpha=%.1f delta=%.4f price_obj=%.4g b_target=%.6g obj=%.6g"
+        st.alpha st.delta st.price_obj st.b_target st.objective);
+  let order = Vod_util.Rng.permutation st.rng (Array.length st.oracles) in
+  Array.iter
+    (fun k ->
+      let consider combo =
+        let fresh =
+          st.oracles.(k).optimize_strong ~obj_price:st.price_obj
+            ~row_price:st.prices
+        in
+        let best, best_m =
+          List.fold_left
+            (fun (bp, bm) (pt, _) ->
+              let m = merit k pt in
+              if m < bm then (pt, m) else (bp, bm))
+            (fresh, merit k fresh)
+            combo
+        in
+        (* On an already-integral block only snap strict improvements. *)
+        if List.length combo > 1 || best_m < -1e-9 then snap k best
+      in
+      match st.combos.(k) with
+      | [] | [ _ ] -> if not only_fractional then consider st.combos.(k)
+      | combo -> consider combo)
+    order
+
+(* Post-rounding polish: a few sweeps in which *every* block may snap to a
+   fresh oracle point if that strictly decreases the potential — a cheap
+   large-neighborhood descent on the integer solution. *)
+let polish st =
+  for _ = 1 to st.p.polish_passes do
+    round_pass ~only_fractional:false st;
+    recompute st;
+    refresh_prices st
+  done
+
+let outcome_of_state st ~passes ~pre_round_objective ~pre_round_violation ~history =
+  let dc = max_coupling_infeas st in
+  let eps_feasible = dc <= st.p.epsilon in
+  let converged =
+    eps_feasible
+    && (st.p.feasibility_only
+       || st.objective <= (1.0 +. st.p.epsilon) *. Float.max st.lb 1e-12
+       || st.objective <= st.lb +. 1e-9)
+  in
+  {
+    combos = st.combos;
+    objective = st.objective;
+    lower_bound = st.lb;
+    max_violation = Float.max dc 0.0;
+    row_usage = Array.copy st.usage;
+    passes;
+    epsilon_feasible = eps_feasible;
+    converged;
+    pre_round_objective;
+    pre_round_violation;
+    history;
+  }
+
+let solve ?(round = true) (p : params) ~capacities ~oracles =
+  let st = init p ~capacities ~oracles in
+  let passes = ref 0 in
+  let stop = ref false in
+  (* Plateau detection: once epsilon-feasible, keep squeezing the
+     objective until it stops improving meaningfully. *)
+  let best_obj = ref infinity and last_improve = ref 0 in
+  let history = ref [] in
+  let patience = 10 in
+  while (not !stop) && !passes < p.max_passes do
+    incr passes;
+    let dc = run_pass st in
+    history := (st.objective, st.lb, Float.max dc 0.0) :: !history;
+    Log.debug (fun m ->
+        m "pass %d: obj=%.6g lb=%.6g ub=%.6g viol=%.4f delta=%.4f" !passes
+          st.objective st.lb st.ub dc st.delta);
+    if st.objective < !best_obj *. (1.0 -. (p.epsilon /. 4.0)) then begin
+      best_obj := st.objective;
+      last_improve := !passes
+    end;
+    if dc <= p.epsilon then begin
+      if p.feasibility_only then stop := true
+      else if st.objective <= (1.0 +. p.epsilon) *. Float.max st.lb 1e-12 then
+        stop := true
+      else if !passes - !last_improve >= patience then stop := true
+    end
+  done;
+  (* Stabilization: relax the objective target to the best achieved value
+     and run a few passes so the iterate returns inside the epsilon band
+     before rounding (the push phase deliberately leaves it oscillating
+     around it). *)
+  if not p.feasibility_only then begin
+    st.freeze_target <- true;
+    st.b_target <-
+      Float.max
+        (Float.max st.lb (st.objective *. 1.01))
+        (0.01 *. st.scale);
+    st.delta <- Float.max st.delta p.epsilon;
+    refresh_alpha st;
+    refresh_prices st;
+    for _ = 1 to 3 do
+      ignore (run_pass st)
+    done;
+    Log.debug (fun m ->
+        m "stabilized: obj=%.6g viol=%.4f" st.objective
+          (max_coupling_infeas st))
+  end;
+  (* Final bound sweep: the multipliers the run converged to may be off
+     by a uniform scale (the B control distorts pi_0); probing a grid of
+     scalings often recovers several percent of the bound. *)
+  if not p.feasibility_only then
+    List.iter
+      (fun mult -> try_duals st ~mult st.smoothed st.smoothed_obj)
+      [ 0.25; 0.5; 2.0; 4.0; 8.0; 16.0; 32.0 ];
+  let pre_round_objective = st.objective in
+  let pre_round_violation = Float.max (max_coupling_infeas st) 0.0 in
+  if round && not p.feasibility_only then begin
+    round_pass st;
+    recompute st;
+    refresh_prices st;
+    polish st
+  end;
+  outcome_of_state st ~passes:!passes ~pre_round_objective ~pre_round_violation
+    ~history:(Array.of_list (List.rev !history))

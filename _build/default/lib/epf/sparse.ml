@@ -1,0 +1,66 @@
+(* Sparse nonnegative row-usage vectors, represented as (row, value) arrays
+   sorted by row id. These are the block solutions' footprints on the
+   coupling constraints; supports stay tiny (a video touches its disk rows
+   and the links on a handful of paths), so merge-based arithmetic wins
+   over hashing. *)
+
+type t = (int * float) array
+
+let empty : t = [||]
+
+let of_assoc l =
+  (* Combine duplicate rows, drop zeros, sort by row. *)
+  let tbl = Hashtbl.create (List.length l) in
+  List.iter
+    (fun (r, v) ->
+      if v <> 0.0 then
+        let cur = Option.value ~default:0.0 (Hashtbl.find_opt tbl r) in
+        Hashtbl.replace tbl r (cur +. v))
+    l;
+  let arr = Array.of_seq (Hashtbl.to_seq tbl) in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  arr
+
+(* [axpby a x b y] = a*x + b*y as a fresh sorted sparse vector. *)
+let axpby a (x : t) b (y : t) : t =
+  let nx = Array.length x and ny = Array.length y in
+  let out = ref [] in
+  let push r v = if Float.abs v > 1e-15 then out := (r, v) :: !out in
+  let i = ref 0 and j = ref 0 in
+  while !i < nx || !j < ny do
+    if !j >= ny || (!i < nx && fst x.(!i) < fst y.(!j)) then begin
+      let r, v = x.(!i) in
+      push r (a *. v);
+      incr i
+    end
+    else if !i >= nx || fst y.(!j) < fst x.(!i) then begin
+      let r, v = y.(!j) in
+      push r (b *. v);
+      incr j
+    end
+    else begin
+      let r, vx = x.(!i) and _, vy = y.(!j) in
+      push r ((a *. vx) +. (b *. vy));
+      incr i;
+      incr j
+    end
+  done;
+  let arr = Array.of_list !out in
+  Array.sort (fun (p, _) (q, _) -> compare p q) arr;
+  arr
+
+let sub x y = axpby 1.0 x (-1.0) y
+
+let scale a x = Array.map (fun (r, v) -> (r, a *. v)) x
+
+(* Add [x] into the dense accumulator [acc], scaled by [a]. *)
+let add_into acc a (x : t) =
+  Array.iter (fun (r, v) -> acc.(r) <- acc.(r) +. (a *. v)) x
+
+(* Dot product with a dense price vector. *)
+let dot prices (x : t) =
+  Array.fold_left (fun s (r, v) -> s +. (prices.(r) *. v)) 0.0 x
+
+let iter f (x : t) = Array.iter (fun (r, v) -> f r v) x
+
+let support (x : t) = Array.map fst x

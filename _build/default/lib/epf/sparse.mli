@@ -1,0 +1,30 @@
+(** Sparse nonnegative row-usage vectors: (row, value) pairs sorted by row
+    id. The footprint of a block solution on the coupling constraints. *)
+
+type t = (int * float) array
+
+val empty : t
+
+(** Build from an unsorted association list, combining duplicates and
+    dropping zeros. *)
+val of_assoc : (int * float) list -> t
+
+(** [axpby a x b y] = a*x + b*y. *)
+val axpby : float -> t -> float -> t -> t
+
+(** [sub x y] = x - y. *)
+val sub : t -> t -> t
+
+(** [scale a x] = a*x. *)
+val scale : float -> t -> t
+
+(** [add_into acc a x]: acc += a*x (dense accumulator). *)
+val add_into : float array -> float -> t -> unit
+
+(** Dot product against a dense price vector. *)
+val dot : float array -> t -> float
+
+val iter : (int -> float -> unit) -> t -> unit
+
+(** Row ids in the support. *)
+val support : t -> int array

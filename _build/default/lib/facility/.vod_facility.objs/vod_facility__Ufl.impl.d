@@ -1,0 +1,1 @@
+lib/facility/ufl.ml: Array Float

@@ -1,0 +1,240 @@
+(* Uncapacitated facility location (UFL).
+
+   Each per-video block of the decomposed placement LP is a UFL instance
+   (paper Sec. V-C): facilities are VHOs (opening cost = disk-multiplier
+   weight), clients are VHOs with demand (service cost = transfer cost
+   plus bandwidth-multiplier weight). The EPF solver calls [local_search]
+   to get a block step direction — the paper's "fast block heuristics
+   [Charikar-Guha]" — and [dual_ascent] to obtain a valid per-block lower
+   bound for the Lagrangian bound (DESIGN.md, "Valid lower bounds"). *)
+
+type t = {
+  open_cost : float array;          (* length n_fac, nonnegative *)
+  service : float array array;      (* service.(client).(facility) >= 0 *)
+}
+
+type solution = {
+  open_set : bool array;
+  assign : int array;               (* assign.(client) = facility *)
+  cost : float;
+}
+
+let n_facilities t = Array.length t.open_cost
+
+let n_clients t = Array.length t.service
+
+let validate t =
+  let n = n_facilities t in
+  if n = 0 then invalid_arg "Ufl: no facilities";
+  Array.iter
+    (fun o -> if o < 0.0 || Float.is_nan o then invalid_arg "Ufl: bad opening cost")
+    t.open_cost;
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Ufl: service row arity";
+      Array.iter
+        (fun s -> if s < 0.0 || Float.is_nan s then invalid_arg "Ufl: bad service cost")
+        row)
+    t.service
+
+(* Cost of a solution given its open set: each client served by its
+   cheapest open facility. Returns (cost, assignment). *)
+let eval_open t open_set =
+  let n = n_facilities t in
+  let nc = n_clients t in
+  let assign = Array.make nc (-1) in
+  let cost = ref 0.0 in
+  Array.iteri (fun i o -> if open_set.(i) then cost := !cost +. o) t.open_cost;
+  for j = 0 to nc - 1 do
+    let best = ref (-1) and best_c = ref infinity in
+    for i = 0 to n - 1 do
+      if open_set.(i) && t.service.(j).(i) < !best_c then begin
+        best := i;
+        best_c := t.service.(j).(i)
+      end
+    done;
+    if !best < 0 then invalid_arg "Ufl.eval_open: no open facility";
+    assign.(j) <- !best;
+    cost := !cost +. !best_c
+  done;
+  (!cost, assign)
+
+let solution_of_open t open_set =
+  let cost, assign = eval_open t open_set in
+  { open_set = Array.copy open_set; assign; cost }
+
+(* Greedy: start from the single best facility, then repeatedly open the
+   facility with the largest net saving. O(n_fac^2 * n_cli). *)
+let greedy t =
+  validate t;
+  let n = n_facilities t and nc = n_clients t in
+  (* Best single facility. *)
+  let single_cost i =
+    let c = ref t.open_cost.(i) in
+    for j = 0 to nc - 1 do
+      c := !c +. t.service.(j).(i)
+    done;
+    !c
+  in
+  let first = ref 0 in
+  for i = 1 to n - 1 do
+    if single_cost i < single_cost !first then first := i
+  done;
+  let open_set = Array.make n false in
+  open_set.(!first) <- true;
+  (* current cheapest service per client *)
+  let cur = Array.init nc (fun j -> t.service.(j).(!first)) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_i = ref (-1) and best_saving = ref 0.0 in
+    for i = 0 to n - 1 do
+      if not open_set.(i) then begin
+        let saving = ref (-.t.open_cost.(i)) in
+        for j = 0 to nc - 1 do
+          let d = cur.(j) -. t.service.(j).(i) in
+          if d > 0.0 then saving := !saving +. d
+        done;
+        if !saving > !best_saving +. 1e-12 then begin
+          best_saving := !saving;
+          best_i := i
+        end
+      end
+    done;
+    if !best_i >= 0 then begin
+      open_set.(!best_i) <- true;
+      for j = 0 to nc - 1 do
+        if t.service.(j).(!best_i) < cur.(j) then cur.(j) <- t.service.(j).(!best_i)
+      done;
+      improved := true
+    end
+  done;
+  solution_of_open t open_set
+
+(* Add / drop / swap local search seeded by [greedy] — the classic
+   Charikar-Guha style block heuristic. [max_iter] bounds the number of
+   improving moves (each move strictly decreases cost). *)
+let local_search ?(max_iter = 200) t =
+  let n = n_facilities t in
+  let sol = ref (greedy t) in
+  let iter = ref 0 in
+  let try_open_set os =
+    (* At least one facility must stay open. *)
+    if Array.exists (fun b -> b) os then begin
+      let cost, _ = eval_open t os in
+      if cost < !sol.cost -. 1e-12 then begin
+        sol := solution_of_open t os;
+        true
+      end
+      else false
+    end
+    else false
+  in
+  let improved = ref true in
+  while !improved && !iter < max_iter do
+    improved := false;
+    incr iter;
+    let base = Array.copy !sol.open_set in
+    (* add moves *)
+    for i = 0 to n - 1 do
+      if not base.(i) then begin
+        let os = Array.copy !sol.open_set in
+        if not os.(i) then begin
+          os.(i) <- true;
+          if try_open_set os then improved := true
+        end
+      end
+    done;
+    (* drop moves *)
+    for i = 0 to n - 1 do
+      if base.(i) then begin
+        let os = Array.copy !sol.open_set in
+        if os.(i) then begin
+          os.(i) <- false;
+          if try_open_set os then improved := true
+        end
+      end
+    done;
+    (* swap moves: close one open, open one closed *)
+    for i = 0 to n - 1 do
+      if !sol.open_set.(i) then
+        for i' = 0 to n - 1 do
+          if not !sol.open_set.(i') then begin
+            let os = Array.copy !sol.open_set in
+            os.(i) <- false;
+            os.(i') <- true;
+            if try_open_set os then improved := true
+          end
+        done
+    done
+  done;
+  !sol
+
+(* Erlenkotter-style dual ascent for the UFL LP dual:
+
+     max sum_j v_j   s.t.  sum_j max(0, v_j - s_ij) <= o_i  for all i.
+
+   Any feasible v lower-bounds the LP (hence the ILP) optimum. We raise
+   each v_j in cyclic passes to the largest value the slacks allow. The
+   result is a maximal — not necessarily maximum — dual solution, which is
+   exactly what the EPF lower-bound pass needs: validity, cheaply. *)
+let dual_ascent ?(max_passes = 8) t =
+  validate t;
+  let n = n_facilities t and nc = n_clients t in
+  let v = Array.init nc (fun j -> Array.fold_left Float.min infinity t.service.(j)) in
+  let slack = Array.copy t.open_cost in
+  (* slack_i = o_i - sum_j (v_j - s_ij)+ ; initially v_j = min service so
+     every term is 0 except exact ties, which contribute 0 anyway. *)
+  let raise_client j =
+    (* Largest t such that for all i: (t - s_ij)+ <= slack_i + (v_j - s_ij)+ *)
+    let tmax = ref infinity in
+    for i = 0 to n - 1 do
+      let s = t.service.(j).(i) in
+      let already = Float.max 0.0 (v.(j) -. s) in
+      let bound = s +. slack.(i) +. already in
+      if bound < !tmax then tmax := bound
+    done;
+    if !tmax > v.(j) +. 1e-12 then begin
+      let old = v.(j) in
+      v.(j) <- !tmax;
+      (* Update slacks. *)
+      for i = 0 to n - 1 do
+        let s = t.service.(j).(i) in
+        let before = Float.max 0.0 (old -. s) in
+        let after = Float.max 0.0 (v.(j) -. s) in
+        slack.(i) <- slack.(i) -. (after -. before)
+      done;
+      true
+    end
+    else false
+  in
+  let pass = ref 0 and any = ref true in
+  while !any && !pass < max_passes do
+    any := false;
+    incr pass;
+    for j = 0 to nc - 1 do
+      if raise_client j then any := true
+    done
+  done;
+  let bound = Array.fold_left ( +. ) 0.0 v in
+  (bound, v)
+
+(* Exact optimum by enumerating open sets; for tests only. *)
+let exact t =
+  validate t;
+  let n = n_facilities t in
+  if n > 20 then invalid_arg "Ufl.exact: too many facilities (max 20)";
+  let best = ref None in
+  let open_set = Array.make n false in
+  for mask = 1 to (1 lsl n) - 1 do
+    for i = 0 to n - 1 do
+      open_set.(i) <- mask land (1 lsl i) <> 0
+    done;
+    let cost, _ = eval_open t open_set in
+    match !best with
+    | Some (bc, _) when bc <= cost -> ()
+    | _ -> best := Some (cost, Array.copy open_set)
+  done;
+  match !best with
+  | Some (_, os) -> solution_of_open t os
+  | None -> invalid_arg "Ufl.exact: no facilities"

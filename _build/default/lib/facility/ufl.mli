@@ -1,0 +1,48 @@
+(** Uncapacitated facility location — the per-video block problem of the
+    decomposed placement LP (paper Sec. V-C/V-D).
+
+    Facilities are VHOs (opening = storing a copy); clients are VHOs with
+    demand. Costs must be nonnegative, which the EPF multipliers
+    guarantee. *)
+
+type t = {
+  open_cost : float array;       (** per-facility opening cost *)
+  service : float array array;   (** [service.(client).(facility)] *)
+}
+
+type solution = {
+  open_set : bool array;
+  assign : int array;   (** cheapest open facility per client *)
+  cost : float;
+}
+
+val n_facilities : t -> int
+
+val n_clients : t -> int
+
+(** Raises [Invalid_argument] on negative/NaN costs, ragged service rows,
+    or an empty facility set. *)
+val validate : t -> unit
+
+(** [eval_open t open_set] = (cost, assignment) serving every client from
+    its cheapest open facility. Raises [Invalid_argument] if no facility
+    is open. *)
+val eval_open : t -> bool array -> float * int array
+
+(** Build a [solution] record from an open set. *)
+val solution_of_open : t -> bool array -> solution
+
+(** Greedy opening heuristic (best single facility + largest-saving adds). *)
+val greedy : t -> solution
+
+(** Add/drop/swap local search seeded by [greedy] — the Charikar-Guha-style
+    block heuristic the paper uses for block steps and rounding. *)
+val local_search : ?max_iter:int -> t -> solution
+
+(** Erlenkotter-style dual ascent. Returns [(bound, v)] where [bound] is a
+    valid lower bound on the LP (hence ILP) optimum and [v] the feasible
+    dual values. *)
+val dual_ascent : ?max_passes:int -> t -> float * float array
+
+(** Exact optimum by enumeration; [n_facilities <= 20] (tests only). *)
+val exact : t -> solution

@@ -1,0 +1,222 @@
+(* Dense two-phase primal simplex.
+
+   This is the repository's stand-in for the "state-of-the-art commercial
+   LP solver" the paper compares against (CPLEX, Sec. V-C / Table III): an
+   exact general-purpose solver whose time and memory grow superlinearly
+   with instance size, in contrast to the decomposition approach. It is
+   also the ground-truth oracle for unit tests of the EPF solver and the
+   UFL subproblem solvers on small instances.
+
+   Implementation notes: standard tableau form with Bland's anti-cycling
+   rule; phase 1 minimizes the sum of artificial variables, phase 2 the
+   user objective. Suitable for instances up to a few thousand nonzeros. *)
+
+type rel = Le | Ge | Eq
+
+type constr = {
+  row : (int * float) list;  (* sparse (variable, coefficient) *)
+  rel : rel;
+  rhs : float;
+}
+
+type problem = {
+  n_vars : int;
+  minimize : float array;   (* objective coefficients, length n_vars *)
+  constraints : constr list;
+}
+
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let epsilon = 1e-9
+
+(* Pivot the tableau on (prow, pcol). *)
+let pivot tableau basis prow pcol =
+  let ncols = Array.length tableau.(0) in
+  let nrows = Array.length tableau in
+  let p = tableau.(prow).(pcol) in
+  for c = 0 to ncols - 1 do
+    tableau.(prow).(c) <- tableau.(prow).(c) /. p
+  done;
+  for r = 0 to nrows - 1 do
+    if r <> prow then begin
+      let f = tableau.(r).(pcol) in
+      if Float.abs f > 0.0 then
+        for c = 0 to ncols - 1 do
+          tableau.(r).(c) <- tableau.(r).(c) -. (f *. tableau.(prow).(c))
+        done
+    end
+  done;
+  basis.(prow) <- pcol
+
+(* Run simplex iterations on a tableau whose last row is the (negated
+   reduced cost) objective row and last column is the rhs. Returns [false]
+   if unbounded. Bland's rule: entering = lowest-index improving column,
+   leaving = lowest-index tie among min ratios. [enter_limit] bounds the
+   entering-column scan — phase 2 must exclude the artificial columns or
+   they can re-enter the basis and "solve" an infeasible relaxation. *)
+let iterate tableau basis ~n_total ~enter_limit =
+  let m = Array.length tableau - 1 in
+  let obj = tableau.(m) in
+  let rec loop () =
+    (* Entering column: first with positive coefficient in the objective
+       row (we keep the row as z-c, maximizing reduction). *)
+    let enter = ref (-1) in
+    (try
+       for c = 0 to enter_limit - 1 do
+         if obj.(c) > epsilon then begin
+           enter := c;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !enter < 0 then true
+    else begin
+      let pcol = !enter in
+      let best_row = ref (-1) and best_ratio = ref infinity in
+      for r = 0 to m - 1 do
+        let a = tableau.(r).(pcol) in
+        if a > epsilon then begin
+          let ratio = tableau.(r).(n_total) /. a in
+          if
+            ratio < !best_ratio -. epsilon
+            || (Float.abs (ratio -. !best_ratio) <= epsilon
+               && (!best_row < 0 || basis.(r) < basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := r
+          end
+        end
+      done;
+      if !best_row < 0 then false
+      else begin
+        pivot tableau basis !best_row pcol;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve (p : problem) =
+  let m = List.length p.constraints in
+  (* Normalize: make all right-hand sides nonnegative. *)
+  let constraints =
+    List.map
+      (fun c ->
+        if c.rhs < 0.0 then
+          {
+            row = List.map (fun (v, a) -> (v, -.a)) c.row;
+            rel = (match c.rel with Le -> Ge | Ge -> Le | Eq -> Eq);
+            rhs = -.c.rhs;
+          }
+        else c)
+      p.constraints
+  in
+  (* Column layout: [0, n_vars) structural; then one slack/surplus per
+     inequality; then one artificial per Ge/Eq row. *)
+  let n_slack = List.length (List.filter (fun c -> c.rel <> Eq) constraints) in
+  let n_art = List.length (List.filter (fun c -> c.rel <> Le) constraints) in
+  let n_total = p.n_vars + n_slack + n_art in
+  let tableau = Array.make_matrix (m + 1) (n_total + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let slack_idx = ref p.n_vars in
+  let art_idx = ref (p.n_vars + n_slack) in
+  let art_cols = ref [] in
+  List.iteri
+    (fun r c ->
+      List.iter
+        (fun (v, a) ->
+          if v < 0 || v >= p.n_vars then invalid_arg "Simplex.solve: variable out of range";
+          tableau.(r).(v) <- tableau.(r).(v) +. a)
+        c.row;
+      tableau.(r).(n_total) <- c.rhs;
+      (match c.rel with
+      | Le ->
+          tableau.(r).(!slack_idx) <- 1.0;
+          basis.(r) <- !slack_idx;
+          incr slack_idx
+      | Ge ->
+          tableau.(r).(!slack_idx) <- -1.0;
+          incr slack_idx;
+          tableau.(r).(!art_idx) <- 1.0;
+          basis.(r) <- !art_idx;
+          art_cols := !art_idx :: !art_cols;
+          incr art_idx
+      | Eq ->
+          tableau.(r).(!art_idx) <- 1.0;
+          basis.(r) <- !art_idx;
+          art_cols := !art_idx :: !art_cols;
+          incr art_idx))
+    constraints;
+  let obj_row = tableau.(m) in
+  (* Phase 1: minimize the sum of artificials. Objective row holds z - c
+     form: start with -sum of artificial columns, then add rows with
+     artificial basics to zero out their reduced costs. *)
+  if n_art > 0 then begin
+    List.iter (fun c -> obj_row.(c) <- -1.0) !art_cols;
+    Array.iteri
+      (fun r b ->
+        if r < m && List.mem b !art_cols then
+          for c = 0 to n_total do
+            obj_row.(c) <- obj_row.(c) +. tableau.(r).(c)
+          done)
+      basis;
+    if not (iterate tableau basis ~n_total ~enter_limit:n_total) then
+      (* Phase 1 objective is bounded below by 0; unbounded is impossible
+         unless numerics break. *)
+      invalid_arg "Simplex.solve: phase 1 reported unbounded";
+    if tableau.(m).(n_total) > 1e-6 then raise Exit
+  end;
+  (* Drive any artificial still in the basis out (degenerate rows). *)
+  Array.iteri
+    (fun r b ->
+      if r < m && b >= p.n_vars + n_slack then begin
+        let found = ref false in
+        let c = ref 0 in
+        while (not !found) && !c < p.n_vars + n_slack do
+          if Float.abs tableau.(r).(!c) > epsilon then begin
+            pivot tableau basis r !c;
+            found := true
+          end;
+          incr c
+        done
+        (* If no pivot exists the row is all-zero (redundant); the
+           artificial stays basic at value 0, harmless. *)
+      end)
+    basis;
+  (* Phase 2: rebuild the objective row as z - c and cancel the reduced
+     costs of the current basic variables (obj := obj - obj(b) * row_b,
+     which zeroes column b since row_b has a unit pivot there). *)
+  for c = 0 to n_total do
+    obj_row.(c) <- 0.0
+  done;
+  for v = 0 to p.n_vars - 1 do
+    obj_row.(v) <- -.p.minimize.(v)
+  done;
+  Array.iteri
+    (fun r b ->
+      if r < m then begin
+        let f = obj_row.(b) in
+        if Float.abs f > 0.0 then
+          for c = 0 to n_total do
+            obj_row.(c) <- obj_row.(c) -. (f *. tableau.(r).(c))
+          done
+      end)
+    basis;
+  if not (iterate tableau basis ~n_total ~enter_limit:(p.n_vars + n_slack)) then
+    Unbounded
+  else begin
+    let solution = Array.make p.n_vars 0.0 in
+    Array.iteri
+      (fun r b -> if r < m && b < p.n_vars then solution.(b) <- tableau.(r).(n_total))
+      basis;
+    let objective = ref 0.0 in
+    for v = 0 to p.n_vars - 1 do
+      objective := !objective +. (p.minimize.(v) *. solution.(v))
+    done;
+    Optimal { objective = !objective; solution }
+  end
+
+let solve p = try solve p with Exit -> Infeasible

@@ -1,0 +1,32 @@
+(** Dense two-phase primal simplex with Bland's anti-cycling rule.
+
+    The repository's stand-in for the commercial LP solver the paper uses
+    as its baseline (Table III), and the ground-truth oracle for testing
+    the decomposition solver on small instances. Suitable for problems up
+    to a few thousand nonzeros; the point of the paper — and of this
+    reproduction — is precisely that the full placement LP outgrows this
+    kind of solver. *)
+
+type rel = Le | Ge | Eq
+
+type constr = {
+  row : (int * float) list;  (** sparse (variable, coefficient) pairs *)
+  rel : rel;
+  rhs : float;
+}
+
+type problem = {
+  n_vars : int;
+  minimize : float array;
+  constraints : constr list;
+}
+
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+(** Solve a minimization LP over nonnegative variables.
+    Raises [Invalid_argument] if a constraint references a variable outside
+    [0, n_vars). *)
+val solve : problem -> result

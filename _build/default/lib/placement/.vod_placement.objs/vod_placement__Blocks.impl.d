@@ -1,0 +1,1 @@
+lib/placement/blocks.ml: Array Float Hashtbl Instance List Vod_epf Vod_facility Vod_topology Vod_workload

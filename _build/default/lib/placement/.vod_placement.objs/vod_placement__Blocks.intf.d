@@ -1,0 +1,1 @@
+lib/placement/blocks.mli: Instance Vod_epf Vod_facility

@@ -1,0 +1,1 @@
+lib/placement/chunking.ml: Array Instance List Solution Vod_workload

@@ -1,0 +1,1 @@
+lib/placement/chunking.mli: Instance Solution Vod_workload

@@ -1,0 +1,1 @@
+lib/placement/feasibility.ml: Blocks Instance Vod_epf

@@ -1,0 +1,1 @@
+lib/placement/feasibility.mli: Instance Vod_epf Vod_topology Vod_workload

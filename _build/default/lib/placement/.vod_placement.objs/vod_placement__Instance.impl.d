@@ -1,0 +1,1 @@
+lib/placement/instance.ml: Array Vod_topology Vod_workload

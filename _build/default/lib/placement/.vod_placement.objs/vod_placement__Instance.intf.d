@@ -1,0 +1,1 @@
+lib/placement/instance.mli: Vod_topology Vod_workload

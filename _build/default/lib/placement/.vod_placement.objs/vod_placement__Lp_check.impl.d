@@ -1,0 +1,1 @@
+lib/placement/lp_check.ml: Array Instance List Vod_lp Vod_topology Vod_workload

@@ -1,0 +1,1 @@
+lib/placement/lp_check.mli: Instance Vod_lp

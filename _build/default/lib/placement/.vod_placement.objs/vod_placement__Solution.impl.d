@@ -1,0 +1,1 @@
+lib/placement/solution.ml: Array Blocks Hashtbl Instance List Vod_epf Vod_topology Vod_workload

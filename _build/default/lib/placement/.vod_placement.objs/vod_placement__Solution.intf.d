@@ -1,0 +1,1 @@
+lib/placement/solution.mli: Blocks Hashtbl Instance Vod_epf Vod_topology Vod_workload

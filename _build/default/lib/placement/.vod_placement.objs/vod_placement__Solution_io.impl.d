@@ -1,0 +1,1 @@
+lib/placement/solution_io.ml: Array Fun Hashtbl List Printf Solution String

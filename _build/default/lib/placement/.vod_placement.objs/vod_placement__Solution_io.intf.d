@@ -1,0 +1,1 @@
+lib/placement/solution_io.mli: Solution

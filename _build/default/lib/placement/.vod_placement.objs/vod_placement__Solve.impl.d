@@ -1,0 +1,1 @@
+lib/placement/solve.ml: Blocks Gc Instance Logs Solution Unix Vod_epf

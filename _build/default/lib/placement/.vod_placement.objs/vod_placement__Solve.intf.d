@@ -1,0 +1,1 @@
+lib/placement/solve.mli: Instance Solution Vod_epf

@@ -1,0 +1,267 @@
+(* Per-video block oracles for the EPF engine.
+
+   Each video's subproblem is an uncapacitated facility location instance
+   (paper Sec. V-C): facilities = VHOs (opening = storing the copy, priced
+   by the disk-row multiplier), clients = VHOs with demand for the video
+   (service priced by transfer cost plus the link-row multipliers along
+   the fixed path). The [optimize] oracle runs the greedy UFL heuristic —
+   integral block solutions keep the convex-combination iterate inside the
+   block polytope — and [lower_bound] runs dual ascent over the *full*
+   facility set, so the engine's Lagrangian bound stays valid. *)
+
+type choice = {
+  video : int;
+  open_vhos : int array;      (* VHOs storing the video, sorted *)
+  serve : (int * int) array;  (* (client vho, serving vho) *)
+}
+
+type client = {
+  vho : int;
+  a : float;          (* aggregate requests a_j^m *)
+  f : float array;    (* concurrent streams per peak window f_j^m(t) *)
+}
+
+type block = {
+  video : int;
+  size_gb : float;
+  rate_mbps : float;
+  clients : client array;
+}
+
+(* Assemble the sparse per-video client list by merging the aggregate
+   demand with every peak window's concurrency support. *)
+let build_blocks (inst : Instance.t) =
+  let demand = inst.Instance.demand in
+  let n_videos = demand.Vod_workload.Demand.n_videos in
+  let nw = Instance.n_windows inst in
+  Array.init n_videos (fun video ->
+      let tbl : (int, float * float array) Hashtbl.t = Hashtbl.create 8 in
+      Array.iter
+        (fun (vho, count) -> Hashtbl.replace tbl vho (count, Array.make nw 0.0))
+        demand.Vod_workload.Demand.a.(video);
+      for w = 0 to nw - 1 do
+        Array.iter
+          (fun (vho, conc) ->
+            match Hashtbl.find_opt tbl vho with
+            | Some (a, f) ->
+                f.(w) <- conc;
+                Hashtbl.replace tbl vho (a, f)
+            | None ->
+                let f = Array.make nw 0.0 in
+                f.(w) <- conc;
+                Hashtbl.add tbl vho (0.0, f))
+          demand.Vod_workload.Demand.f.(w).(video)
+      done;
+      let clients =
+        Hashtbl.fold (fun vho (a, f) acc -> { vho; a; f } :: acc) tbl []
+        |> List.sort (fun c1 c2 -> compare c1.vho c2.vho)
+        |> Array.of_list
+      in
+      let v = Vod_workload.Catalog.video inst.Instance.catalog video in
+      {
+        video;
+        size_gb = Vod_workload.Video.size_gb v;
+        rate_mbps = Vod_workload.Video.rate_mbps v;
+        clients;
+      })
+
+(* Build the priced UFL instance for a block. *)
+let ufl_of_block (inst : Instance.t) (b : block) ~obj_price ~row_price =
+  let n = Instance.n_vhos inst in
+  let nw = Instance.n_windows inst in
+  let place_cost i =
+    if inst.Instance.placement_weight = 0.0 then 0.0
+    else
+      inst.Instance.placement_weight *. b.size_gb
+      *. Instance.cost inst ~src:inst.Instance.origin ~dst:i
+  in
+  let open_cost =
+    Array.init n (fun i ->
+        (row_price.(Instance.disk_row inst i) *. b.size_gb)
+        +. (obj_price *. place_cost i))
+  in
+  let service =
+    Array.map
+      (fun c ->
+        Array.init n (fun i ->
+            let transfer =
+              obj_price *. b.size_gb *. c.a *. Instance.cost inst ~src:i ~dst:c.vho
+            in
+            let bw = ref 0.0 in
+            if i <> c.vho then begin
+              let links =
+                Vod_topology.Paths.path_links inst.Instance.paths ~src:i ~dst:c.vho
+              in
+              for w = 0 to nw - 1 do
+                let load = b.rate_mbps *. c.f.(w) in
+                if load > 0.0 then
+                  Array.iter
+                    (fun l -> bw := !bw +. (row_price.(Instance.link_row inst ~window:w ~link:l) *. load))
+                    links
+              done
+            end;
+            transfer +. !bw))
+      b.clients
+  in
+  { Vod_facility.Ufl.open_cost; service }
+
+(* Translate a UFL solution into an engine point: true objective
+   contribution and coupling-row usage. *)
+let point_of_solution (inst : Instance.t) (b : block)
+    (sol : Vod_facility.Ufl.solution) =
+  let nw = Instance.n_windows inst in
+  let obj = ref 0.0 in
+  let usage = ref [] in
+  let opens = ref [] in
+  Array.iteri
+    (fun i is_open ->
+      if is_open then begin
+        opens := i :: !opens;
+        usage := (Instance.disk_row inst i, b.size_gb) :: !usage;
+        if inst.Instance.placement_weight > 0.0 then
+          obj :=
+            !obj
+            +. inst.Instance.placement_weight *. b.size_gb
+               *. Instance.cost inst ~src:inst.Instance.origin ~dst:i
+      end)
+    sol.Vod_facility.Ufl.open_set;
+  let serve =
+    Array.mapi
+      (fun jc c ->
+        let i = sol.Vod_facility.Ufl.assign.(jc) in
+        obj := !obj +. (b.size_gb *. c.a *. Instance.cost inst ~src:i ~dst:c.vho);
+        if i <> c.vho then begin
+          let links = Vod_topology.Paths.path_links inst.Instance.paths ~src:i ~dst:c.vho in
+          for w = 0 to nw - 1 do
+            let load = b.rate_mbps *. c.f.(w) in
+            if load > 0.0 then
+              Array.iter
+                (fun l -> usage := (Instance.link_row inst ~window:w ~link:l, load) :: !usage)
+                links
+          done
+        end;
+        (c.vho, i))
+      b.clients
+  in
+  let data =
+    {
+      video = b.video;
+      open_vhos = Array.of_list (List.sort compare !opens);
+      serve;
+    }
+  in
+  { Vod_epf.Engine.obj = !obj; usage = Vod_epf.Sparse.of_assoc !usage; data }
+
+(* Warm-start disk prices: the dual values a greedy demand-density disk
+   fill implies. For each VHO, sort its demanded videos by request density
+   a * dc / size (dc ~ the hop saving of serving locally, approximated by
+   the mean path length), fill the disk, and price the disk at the
+   marginal density. Starting every block at its optimum under these
+   prices puts the whole system near the right equilibrium immediately;
+   the EPF passes then only have to polish and enforce the link rows. *)
+let warm_disk_prices (inst : Instance.t) =
+  let n = Instance.n_vhos inst in
+  let demand = inst.Instance.demand in
+  (* Mean hop count over distinct pairs — the typical saving of a local
+     copy versus fetching from a remote replica, times alpha. *)
+  let mean_hops =
+    let sum = ref 0 and cnt = ref 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          sum := !sum + Vod_topology.Paths.hops inst.Instance.paths ~src:i ~dst:j;
+          incr cnt
+        end
+      done
+    done;
+    if !cnt = 0 then 1.0 else float_of_int !sum /. float_of_int !cnt
+  in
+  let dc = inst.Instance.alpha_cost *. Float.max 1.0 (0.5 *. mean_hops) in
+  let per_vho : (float * float) list array = Array.make n [] in
+  Array.iteri
+    (fun video pairs ->
+      let v = Vod_workload.Catalog.video inst.Instance.catalog video in
+      let s = Vod_workload.Video.size_gb v in
+      Array.iter
+        (fun (vho, a) ->
+          if a > 0.0 then per_vho.(vho) <- (a *. dc /. s, s) :: per_vho.(vho))
+        pairs)
+    demand.Vod_workload.Demand.a;
+  Array.mapi
+    (fun i entries ->
+      let sorted = List.sort (fun (d1, _) (d2, _) -> compare d2 d1) entries in
+      let cap = ref inst.Instance.disk_gb.(i) in
+      let marginal = ref 0.0 in
+      List.iter
+        (fun (d, s) ->
+          if !cap >= s then begin
+            cap := !cap -. s;
+            marginal := d
+          end)
+        sorted;
+      !marginal)
+    per_vho
+
+(* The engine oracle for one block. [optimize] = greedy UFL (fast,
+   integral); [lower_bound] = Erlenkotter dual ascent (valid LP bound);
+   [initial] = the block optimum under the warm-start disk prices. *)
+let oracle_of_block ?(warm_prices : float array option) (inst : Instance.t)
+    (b : block) =
+  let optimize ~obj_price ~row_price =
+    let ufl = ufl_of_block inst b ~obj_price ~row_price in
+    let sol = Vod_facility.Ufl.greedy ufl in
+    point_of_solution inst b sol
+  in
+  let optimize_strong ~obj_price ~row_price =
+    let ufl = ufl_of_block inst b ~obj_price ~row_price in
+    let sol = Vod_facility.Ufl.local_search ufl in
+    point_of_solution inst b sol
+  in
+  let lower_bound ~row_price =
+    let ufl = ufl_of_block inst b ~obj_price:1.0 ~row_price in
+    let bound, _ = Vod_facility.Ufl.dual_ascent ufl in
+    bound
+  in
+  let initial () =
+    match warm_prices with
+    | Some row_price ->
+        let ufl = ufl_of_block inst b ~obj_price:1.0 ~row_price in
+        point_of_solution inst b (Vod_facility.Ufl.greedy ufl)
+    | None ->
+        (* Cheapest single facility under raw objective costs. *)
+        let n = Instance.n_vhos inst in
+        let zero = Array.make (Instance.n_rows inst) 0.0 in
+        let ufl = ufl_of_block inst b ~obj_price:1.0 ~row_price:zero in
+        let single_cost i =
+          Array.fold_left
+            (fun acc row -> acc +. row.(i))
+            ufl.Vod_facility.Ufl.open_cost.(i)
+            ufl.Vod_facility.Ufl.service
+        in
+        let best = ref 0 in
+        for i = 1 to n - 1 do
+          if single_cost i < single_cost !best then best := i
+        done;
+        let open_set = Array.make n false in
+        open_set.(!best) <- true;
+        point_of_solution inst b (Vod_facility.Ufl.solution_of_open ufl open_set)
+  in
+  { Vod_epf.Engine.optimize; optimize_strong; lower_bound; initial }
+
+let oracles ?(warm_start = true) (inst : Instance.t) =
+  let blocks = build_blocks inst in
+  if warm_start then begin
+    (* Warm-start prices live on the full row layout; link rows start 0. *)
+    let row_prices = Array.make (Instance.n_rows inst) 0.0 in
+    let disk = warm_disk_prices inst in
+    Array.iteri (fun i p -> row_prices.(Instance.disk_row inst i) <- p) disk;
+    (blocks, Array.map (oracle_of_block ~warm_prices:row_prices inst) blocks)
+  end
+  else (blocks, Array.map (oracle_of_block inst) blocks)
+
+(* A stronger (local-search) re-optimization of one block, used by the
+   final rounding refinement. *)
+let best_integral (inst : Instance.t) (b : block) ~obj_price ~row_price =
+  let ufl = ufl_of_block inst b ~obj_price ~row_price in
+  let sol = Vod_facility.Ufl.local_search ufl in
+  point_of_solution inst b sol

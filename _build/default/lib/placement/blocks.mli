@@ -1,0 +1,65 @@
+(** Per-video block oracles for the EPF engine: each video's subproblem is
+    a priced uncapacitated facility location instance over the VHOs
+    (paper Sec. V-C). *)
+
+(** An integral block decision: where the video is stored and which VHO
+    serves each demand site. *)
+type choice = {
+  video : int;
+  open_vhos : int array;      (** VHOs storing the video, sorted *)
+  serve : (int * int) array;  (** (client vho, serving vho) pairs *)
+}
+
+type client = {
+  vho : int;
+  a : float;        (** aggregate requests a_j^m *)
+  f : float array;  (** concurrency per peak window f_j^m(t) *)
+}
+
+type block = {
+  video : int;
+  size_gb : float;
+  rate_mbps : float;
+  clients : client array;
+}
+
+(** Sparse per-video demand assembly from an instance. *)
+val build_blocks : Instance.t -> block array
+
+(** The priced UFL instance of a block under given prices. *)
+val ufl_of_block :
+  Instance.t ->
+  block ->
+  obj_price:float ->
+  row_price:float array ->
+  Vod_facility.Ufl.t
+
+(** Translate a UFL solution into an engine point (true objective
+    contribution + coupling-row usage). *)
+val point_of_solution :
+  Instance.t -> block -> Vod_facility.Ufl.solution -> choice Vod_epf.Engine.point
+
+(** Warm-start disk prices: the dual values implied by a greedy
+    demand-density disk fill (per-GB marginal density per VHO). *)
+val warm_disk_prices : Instance.t -> float array
+
+(** Oracle for one block: greedy UFL for [optimize], dual ascent for
+    [lower_bound]; [warm_prices] (full row layout) seeds the initial
+    point. *)
+val oracle_of_block :
+  ?warm_prices:float array -> Instance.t -> block -> choice Vod_epf.Engine.oracle
+
+(** Blocks plus their oracles for a whole instance; [warm_start] (default
+    true) seeds each block's initial point with the greedy-fill duals. *)
+val oracles :
+  ?warm_start:bool ->
+  Instance.t ->
+  block array * choice Vod_epf.Engine.oracle array
+
+(** Local-search re-optimization of one block (rounding refinement). *)
+val best_integral :
+  Instance.t ->
+  block ->
+  obj_price:float ->
+  row_price:float array ->
+  choice Vod_epf.Engine.point

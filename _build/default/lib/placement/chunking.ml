@@ -1,0 +1,137 @@
+(* Chunked placement (paper Sec. V-B): "If we wanted to break up videos
+   into chunks and store their pieces in separate locations ... we could
+   accomplish that by treating each chunk as a distinct element of M."
+
+   Because all content streams at the same constant bitrate, a chunk of a
+   given byte size is also a fixed slice of playback time, so chunks map
+   exactly onto the existing size classes (0.1 / 0.5 / 1 / 2 GB). [split]
+   derives a catalog in which every video becomes ceil(size / chunk_gb)
+   chunk-videos, and [demand] derives the matching MIP inputs: each chunk
+   inherits the parent's request counts (every request needs every chunk)
+   while peak-window concurrency splits evenly across chunks (a stream
+   plays one chunk at a time). Placing the derived instance packs disks at
+   chunk granularity — the win this module exists to measure (see the
+   `ablation` bench). *)
+
+type t = {
+  original : Vod_workload.Catalog.t;
+  chunked : Vod_workload.Catalog.t;
+  parent_of : int array;          (* chunk id -> parent video id *)
+  chunks_of : int array array;    (* parent video id -> chunk ids *)
+  chunk_gb : float;
+}
+
+let class_of_chunk_gb = function
+  | 0.1 -> Vod_workload.Video.Clip
+  | 0.5 -> Vod_workload.Video.Show
+  | 1.0 -> Vod_workload.Video.Movie
+  | 2.0 -> Vod_workload.Video.Long_movie
+  | _ -> invalid_arg "Chunking.split: chunk_gb must be one of 0.1, 0.5, 1.0, 2.0"
+
+let split (catalog : Vod_workload.Catalog.t) ~chunk_gb =
+  let chunk_class = class_of_chunk_gb chunk_gb in
+  let n = Vod_workload.Catalog.n_videos catalog in
+  let chunks_of = Array.make n [||] in
+  let rev_chunks = ref [] in
+  let parent_rev = ref [] in
+  let next_id = ref 0 in
+  for video = 0 to n - 1 do
+    let v = Vod_workload.Catalog.video catalog video in
+    let size = Vod_workload.Video.size_gb v in
+    let count = max 1 (int_of_float (ceil ((size /. chunk_gb) -. 1e-9))) in
+    let ids = Array.make count 0 in
+    for k = 0 to count - 1 do
+      let id = !next_id in
+      incr next_id;
+      ids.(k) <- id;
+      parent_rev := video :: !parent_rev;
+      (* A chunk smaller than chunk_gb (the tail of a video whose size is
+         not a multiple) still occupies a whole chunk slot; with the
+         paper's class sizes all splits are exact, so this is moot but
+         kept safe. *)
+      let chunk =
+        {
+          Vod_workload.Video.id;
+          size_class = (if size < chunk_gb then v.Vod_workload.Video.size_class else chunk_class);
+          kind = Vod_workload.Video.Regular;
+          release_day = v.Vod_workload.Video.release_day;
+          base_weight = v.Vod_workload.Video.base_weight;
+        }
+      in
+      rev_chunks := chunk :: !rev_chunks
+    done;
+    chunks_of.(video) <- ids
+  done;
+  let chunked =
+    {
+      Vod_workload.Catalog.videos = Array.of_list (List.rev !rev_chunks);
+      n_series = catalog.Vod_workload.Catalog.n_series;
+      trace_days = catalog.Vod_workload.Catalog.trace_days;
+    }
+  in
+  {
+    original = catalog;
+    chunked;
+    parent_of = Array.of_list (List.rev !parent_rev);
+    chunks_of;
+    chunk_gb;
+  }
+
+let n_chunks t = Array.length t.parent_of
+
+(* Derived demand: chunk requests mirror the parent's; concurrency per
+   chunk is the parent's divided by the chunk count (a stream occupies
+   one chunk at a time, so the per-link load of the video splits across
+   its chunks' — possibly different — serving paths). *)
+let demand t (d : Vod_workload.Demand.t) =
+  let n = n_chunks t in
+  let a = Array.make n [||] in
+  let f =
+    Array.map (fun _ -> Array.make n [||]) d.Vod_workload.Demand.f
+  in
+  Array.iteri
+    (fun parent ids ->
+      let count = float_of_int (Array.length ids) in
+      Array.iter
+        (fun chunk ->
+          a.(chunk) <- d.Vod_workload.Demand.a.(parent);
+          Array.iteri
+            (fun w fw ->
+              f.(w).(chunk) <-
+                Array.map (fun (vho, c) -> (vho, c /. count)) fw.(parent))
+            d.Vod_workload.Demand.f)
+        ids)
+    t.chunks_of;
+  {
+    Vod_workload.Demand.n_videos = n;
+    n_vhos = d.Vod_workload.Demand.n_vhos;
+    a;
+    f;
+    windows = d.Vod_workload.Demand.windows;
+    total_requests = d.Vod_workload.Demand.total_requests;
+  }
+
+(* Build the chunked MIP instance mirroring [inst]. *)
+let instance (inst : Instance.t) ~chunk_gb =
+  let t = split inst.Instance.catalog ~chunk_gb in
+  let d = demand t inst.Instance.demand in
+  ( t,
+    Instance.create ~alpha_cost:inst.Instance.alpha_cost
+      ~beta_cost:inst.Instance.beta_cost
+      ~placement_weight:inst.Instance.placement_weight
+      ~origin:inst.Instance.origin ~graph:inst.Instance.graph
+      ~catalog:t.chunked ~demand:d ~disk_gb:inst.Instance.disk_gb
+      ~link_capacity_mbps:inst.Instance.link_capacity_mbps () )
+
+(* Per-parent replica statistics of a chunked solution: the number of
+   *full* copies (min over its chunks) and the total chunk copies. *)
+let parent_copies t (sol : Solution.t) parent =
+  let ids = t.chunks_of.(parent) in
+  let full = ref max_int and total = ref 0 in
+  Array.iter
+    (fun chunk ->
+      let c = Solution.copies sol chunk in
+      if c < !full then full := c;
+      total := !total + c)
+    ids;
+  ((if !full = max_int then 0 else !full), !total)

@@ -1,0 +1,30 @@
+(** Chunked placement (paper Sec. V-B): treat fixed-size pieces of every
+    video as distinct placement items, so pieces of one video can live in
+    different VHOs and disks pack at chunk granularity. *)
+
+type t = {
+  original : Vod_workload.Catalog.t;
+  chunked : Vod_workload.Catalog.t;
+  parent_of : int array;        (** chunk id -> parent video id *)
+  chunks_of : int array array;  (** parent video id -> chunk ids *)
+  chunk_gb : float;
+}
+
+(** [split catalog ~chunk_gb] derives the chunk catalog. [chunk_gb] must
+    be one of the class sizes (0.1 / 0.5 / 1.0 / 2.0 GB) so chunks remain
+    exact playback slices; raises [Invalid_argument] otherwise. *)
+val split : Vod_workload.Catalog.t -> chunk_gb:float -> t
+
+(** Total number of chunks. *)
+val n_chunks : t -> int
+
+(** Derive the chunked MIP demand: chunks inherit the parent's request
+    counts; peak concurrency splits evenly across chunks. *)
+val demand : t -> Vod_workload.Demand.t -> Vod_workload.Demand.t
+
+(** Mirror an instance into its chunked equivalent. *)
+val instance : Instance.t -> chunk_gb:float -> t * Instance.t
+
+(** [(full, total)] copies of a parent video: full = min copies over its
+    chunks, total = sum of chunk copies. *)
+val parent_copies : t -> Solution.t -> int -> int * int

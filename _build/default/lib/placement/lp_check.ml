@@ -1,0 +1,105 @@
+(* The full placement LP (paper Eqs. 2-8, with the integrality constraint
+   relaxed to 0 <= y <= 1), built explicitly for the simplex reference
+   solver. This is the "CPLEX" side of Table III and the ground-truth
+   oracle for testing the EPF decomposition: both solvers must agree on
+   small instances.
+
+   Variable layout per video m (blocks of n + n^2 variables):
+     y_i^m   at  m*(n + n^2) + i
+     x_ij^m  at  m*(n + n^2) + n + i*n + j      (i serves j) *)
+
+let block_size n = n + (n * n)
+
+let y_var ~n ~video i = (video * block_size n) + i
+
+let x_var ~n ~video ~server ~client =
+  (video * block_size n) + n + (server * n) + client
+
+let build (inst : Instance.t) =
+  let n = Instance.n_vhos inst in
+  let demand = inst.Instance.demand in
+  let n_videos = demand.Vod_workload.Demand.n_videos in
+  let nw = Instance.n_windows inst in
+  let n_vars = n_videos * block_size n in
+  let minimize = Array.make n_vars 0.0 in
+  let constraints = ref [] in
+  let add row rel rhs = constraints := { Vod_lp.Simplex.row; rel; rhs } :: !constraints in
+  (* Dense per-video demand lookups. *)
+  let a_of = Array.make n 0.0 in
+  let f_of = Array.make_matrix nw n 0.0 in
+  for video = 0 to n_videos - 1 do
+    let v = Vod_workload.Catalog.video inst.Instance.catalog video in
+    let s = Vod_workload.Video.size_gb v in
+    let r = Vod_workload.Video.rate_mbps v in
+    Array.fill a_of 0 n 0.0;
+    Array.iter (fun (j, c) -> a_of.(j) <- c) demand.Vod_workload.Demand.a.(video);
+    for w = 0 to nw - 1 do
+      Array.fill f_of.(w) 0 n 0.0;
+      Array.iter (fun (j, c) -> f_of.(w).(j) <- c) demand.Vod_workload.Demand.f.(w).(video)
+    done;
+    for i = 0 to n - 1 do
+      (* Optional placement-transfer term (Eq. 11). *)
+      if inst.Instance.placement_weight > 0.0 then
+        minimize.(y_var ~n ~video i) <-
+          inst.Instance.placement_weight *. s
+          *. Instance.cost inst ~src:inst.Instance.origin ~dst:i;
+      (* y <= 1 *)
+      add [ (y_var ~n ~video i, 1.0) ] Vod_lp.Simplex.Le 1.0;
+      for j = 0 to n - 1 do
+        (* Objective: s * a_j * c_ij * x_ij (Eq. 2). *)
+        minimize.(x_var ~n ~video ~server:i ~client:j) <-
+          s *. a_of.(j) *. Instance.cost inst ~src:i ~dst:j;
+        (* x_ij <= y_i (Eq. 4). *)
+        add
+          [ (x_var ~n ~video ~server:i ~client:j, 1.0); (y_var ~n ~video i, -1.0) ]
+          Vod_lp.Simplex.Le 0.0
+      done
+    done;
+    (* sum_i x_ij = 1 for every client j (Eq. 3). *)
+    for j = 0 to n - 1 do
+      let row = List.init n (fun i -> (x_var ~n ~video ~server:i ~client:j, 1.0)) in
+      add row Vod_lp.Simplex.Eq 1.0
+    done;
+    ignore r
+  done;
+  (* Disk constraints (Eq. 5). *)
+  for i = 0 to n - 1 do
+    let row =
+      List.init n_videos (fun video ->
+          let v = Vod_workload.Catalog.video inst.Instance.catalog video in
+          (y_var ~n ~video i, Vod_workload.Video.size_gb v))
+    in
+    add row Vod_lp.Simplex.Le inst.Instance.disk_gb.(i)
+  done;
+  (* Link constraints (Eq. 6): for each window w and directed link l,
+     sum over videos and (i, j) with l on P_ij of r * f_j(w) * x_ij. *)
+  let n_links = Instance.n_links inst in
+  for w = 0 to nw - 1 do
+    let rows = Array.make n_links [] in
+    for video = 0 to n_videos - 1 do
+      let v = Vod_workload.Catalog.video inst.Instance.catalog video in
+      let r = Vod_workload.Video.rate_mbps v in
+      Array.iter
+        (fun (j, conc) ->
+          let load = r *. conc in
+          if load > 0.0 then
+            for i = 0 to n - 1 do
+              if i <> j then
+                Array.iter
+                  (fun l ->
+                    rows.(l) <-
+                      (x_var ~n ~video ~server:i ~client:j, load) :: rows.(l))
+                  (Vod_topology.Paths.path_links inst.Instance.paths ~src:i ~dst:j)
+            done)
+        demand.Vod_workload.Demand.f.(w).(video)
+    done;
+    Array.iteri
+      (fun l row ->
+        if row <> [] then
+          add row Vod_lp.Simplex.Le inst.Instance.link_capacity_mbps.(l))
+      rows
+  done;
+  { Vod_lp.Simplex.n_vars; minimize; constraints = List.rev !constraints }
+
+(* Solve the full LP with the simplex reference. *)
+let solve_reference inst = Vod_lp.Simplex.solve (build inst)

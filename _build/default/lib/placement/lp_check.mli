@@ -1,0 +1,17 @@
+(** Explicit construction of the full placement LP (Eqs. 2-8 with
+    integrality relaxed) for the simplex reference solver — the "CPLEX"
+    side of Table III and the ground-truth oracle for testing the EPF
+    decomposition on small instances. *)
+
+(** Variable layout helpers (exposed for tests). *)
+val block_size : int -> int
+
+val y_var : n:int -> video:int -> int -> int
+
+val x_var : n:int -> video:int -> server:int -> client:int -> int
+
+(** Build the LP. *)
+val build : Instance.t -> Vod_lp.Simplex.problem
+
+(** Build and solve with the simplex reference. *)
+val solve_reference : Instance.t -> Vod_lp.Simplex.result

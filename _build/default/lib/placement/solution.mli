@@ -1,0 +1,40 @@
+(** An integral placement (the rounded MIP solution): which VHOs store each
+    video, how requests are routed, and the achieved objective / Lagrangian
+    bound / violation statistics. *)
+
+type t = {
+  n_vhos : int;
+  n_videos : int;
+  stored : int array array;
+  routes : (int, int) Hashtbl.t array;
+  objective : float;
+  lower_bound : float;
+  max_violation : float;
+  passes : int;
+}
+
+(** Extract the placement from a rounded engine outcome. Raises
+    [Invalid_argument] if a block has no copy (cannot happen for oracle
+    points). *)
+val of_outcome : Instance.t -> Blocks.choice Vod_epf.Engine.outcome -> t
+
+(** Whether [vho] stores [video]. *)
+val stores : t -> video:int -> vho:int -> bool
+
+(** Serving VHO for a request: local if stored, else the MIP route, else
+    the nearest replica. *)
+val server : t -> Vod_topology.Paths.t -> video:int -> vho:int -> int
+
+(** Number of replicas of a video. *)
+val copies : t -> int -> int
+
+(** Pinned disk usage per VHO in GB. *)
+val disk_used : t -> Vod_workload.Catalog.t -> float array
+
+(** Relative optimality gap (objective - lower bound) / lower bound. *)
+val gap : t -> float
+
+(** [(transfers, gb)] needed to migrate from [old_sol] to [new_sol]
+    (Sec. VII-H placement-update cost). *)
+val migration :
+  old_sol:t -> new_sol:t -> Vod_workload.Catalog.t -> int * float

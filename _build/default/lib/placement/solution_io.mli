@@ -1,0 +1,15 @@
+(** Placement import/export: [store,video,vho,] and
+    [route,video,client,server] CSV records, so placements can be handed
+    to a delivery system or an existing deployment's placement can be
+    loaded and evaluated. Loaded solutions carry NaN objective/bound
+    statistics (they are placements, not solver reports). *)
+
+val header : string
+
+(** Write a placement; overwrites [path]. *)
+val save_csv : Solution.t -> string -> unit
+
+(** Load and validate a placement. Raises [Invalid_argument] on malformed
+    records, out-of-range ids, or a video with no copy; [Sys_error] if the
+    file is unreadable. *)
+val load_csv : n_vhos:int -> n_videos:int -> string -> Solution.t

@@ -1,0 +1,15 @@
+(** End-to-end placement solve: block construction, EPF decomposition,
+    rounding, extraction. *)
+
+type report = {
+  solution : Solution.t;
+  lp_objective : float;    (** fractional objective before rounding *)
+  lp_violation : float;    (** max relative violation before rounding *)
+  passes : int;
+  seconds : float;         (** wall-clock solve time *)
+  words_allocated : float; (** words allocated during the solve (memory proxy) *)
+}
+
+(** Solve an instance with the given engine parameters (defaults:
+    [Vod_epf.Engine.default_params]). *)
+val solve : ?params:Vod_epf.Engine.params -> Instance.t -> report

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Logs Metrics Vod_cache Vod_topology Vod_workload

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Metrics Vod_cache Vod_topology Vod_workload

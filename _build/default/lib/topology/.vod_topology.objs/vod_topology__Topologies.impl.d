@@ -1,0 +1,1 @@
+lib/topology/topologies.ml: Array Fun Graph Hashtbl List Printf Queue String Vod_util

@@ -1,0 +1,83 @@
+(* Directed-graph representation of a VHO backbone. Every physical
+   bidirectional link is stored as two directed links, because the MIP's
+   bandwidth constraint (paper Eq. 6) is per directed link. *)
+
+type link = {
+  id : int;        (* dense index into link arrays *)
+  src : int;
+  dst : int;
+}
+
+type t = {
+  n : int;                       (* number of VHOs (vertices) *)
+  links : link array;            (* all directed links, indexed by id *)
+  out_links : int array array;   (* out_links.(v) = ids of links leaving v *)
+  name : string;                 (* topology name, for reporting *)
+  populations : float array;     (* relative metro-area demand weight per VHO *)
+}
+
+let n_nodes t = t.n
+
+let n_links t = Array.length t.links
+
+let link t id = t.links.(id)
+
+let reverse_link t id =
+  let l = t.links.(id) in
+  let ids = t.out_links.(l.dst) in
+  let rec find k =
+    if k >= Array.length ids then raise Not_found
+    else
+      let cand = t.links.(ids.(k)) in
+      if cand.dst = l.src then cand.id else find (k + 1)
+  in
+  find 0
+
+(* [create ~name ~n ~edges ~populations] builds a graph from undirected
+   [edges]; each pair (u, v) yields directed links u->v and v->u. *)
+let create ~name ~n ~edges ~populations =
+  if Array.length populations <> n then invalid_arg "Graph.create: populations size mismatch";
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n || u = v then
+        invalid_arg "Graph.create: edge endpoint out of range")
+    edges;
+  (* Reject duplicate undirected edges: they would double capacity silently. *)
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v) ->
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then invalid_arg "Graph.create: duplicate edge";
+      Hashtbl.add seen key ())
+    edges;
+  let directed = List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) edges in
+  let links = Array.of_list (List.mapi (fun id (src, dst) -> { id; src; dst }) directed) in
+  let out = Array.make n [] in
+  Array.iter (fun l -> out.(l.src) <- l.id :: out.(l.src)) links;
+  let out_links = Array.map (fun ids -> Array.of_list (List.rev ids)) out in
+  { n; links; out_links; name; populations }
+
+let is_connected t =
+  if t.n = 0 then true
+  else begin
+    let visited = Array.make t.n false in
+    let queue = Queue.create () in
+    Queue.push 0 queue;
+    visited.(0) <- true;
+    let count = ref 1 in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun lid ->
+          let w = t.links.(lid).dst in
+          if not visited.(w) then begin
+            visited.(w) <- true;
+            incr count;
+            Queue.push w queue
+          end)
+        t.out_links.(v)
+    done;
+    !count = t.n
+  end
+
+let degree t v = Array.length t.out_links.(v)

@@ -1,0 +1,46 @@
+(** Directed-graph representation of a VHO backbone.
+
+    Every physical bidirectional link is stored as two directed links,
+    because the placement MIP's bandwidth constraint (paper Eq. 6) is per
+    directed link. *)
+
+type link = {
+  id : int;   (** dense index into link arrays *)
+  src : int;  (** tail VHO *)
+  dst : int;  (** head VHO *)
+}
+
+type t = {
+  n : int;
+  links : link array;
+  out_links : int array array;
+  name : string;
+  populations : float array;
+}
+
+(** Number of VHOs. *)
+val n_nodes : t -> int
+
+(** Number of directed links (twice the physical link count). *)
+val n_links : t -> int
+
+(** [link t id] looks up a directed link by id. *)
+val link : t -> int -> link
+
+(** [reverse_link t id] is the id of the opposite direction of the same
+    physical link. Raises [Not_found] if absent (cannot happen for graphs
+    built with [create]). *)
+val reverse_link : t -> int -> int
+
+(** [create ~name ~n ~edges ~populations] builds a graph from undirected
+    edges; each pair (u, v) yields directed links u->v and v->u.
+    Raises [Invalid_argument] on out-of-range endpoints, self-loops,
+    duplicate edges, or a population vector of the wrong length. *)
+val create :
+  name:string -> n:int -> edges:(int * int) list -> populations:float array -> t
+
+(** Whether the graph is (strongly, by symmetry) connected. *)
+val is_connected : t -> bool
+
+(** Out-degree of a VHO. *)
+val degree : t -> int -> int

@@ -1,0 +1,62 @@
+(* Fixed inter-VHO routing. The paper assumes a predetermined path between
+   every pair of VHOs (shortest-path routing, Sec. III); for the MIP only
+   the *set* of links on the path matters. We precompute, for every source
+   i, a BFS tree with deterministic tie-breaking (lowest next-hop id) and
+   store P_ij as an array of directed link ids. P_ii = [||]. *)
+
+type t = {
+  hop : int array array;          (* hop.(i).(j) = |P_ij| *)
+  links : int array array array;  (* links.(i).(j) = directed link ids on path i -> j *)
+}
+
+let compute (g : Graph.t) =
+  let n = g.Graph.n in
+  let hop = Array.make_matrix n n 0 in
+  let links = Array.init n (fun _ -> Array.make n [||]) in
+  for src = 0 to n - 1 do
+    (* BFS from [src]; parent_link.(v) = link id used to *reach* v. Links
+       are traversed in increasing id order, which makes tie-breaking
+       deterministic. *)
+    let dist = Array.make n max_int in
+    let parent_link = Array.make n (-1) in
+    let queue = Queue.create () in
+    dist.(src) <- 0;
+    Queue.push src queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun lid ->
+          let w = (Graph.link g lid).Graph.dst in
+          if dist.(w) = max_int then begin
+            dist.(w) <- dist.(v) + 1;
+            parent_link.(w) <- lid;
+            Queue.push w queue
+          end)
+        g.Graph.out_links.(v)
+    done;
+    for dst = 0 to n - 1 do
+      if dst <> src then begin
+        if dist.(dst) = max_int then
+          invalid_arg "Paths.compute: graph is not connected";
+        hop.(src).(dst) <- dist.(dst);
+        (* Walk back from dst to src collecting link ids. *)
+        let rec collect v acc =
+          if v = src then acc
+          else
+            let lid = parent_link.(v) in
+            collect (Graph.link g lid).Graph.src (lid :: acc)
+        in
+        links.(src).(dst) <- Array.of_list (collect dst [])
+      end
+    done
+  done;
+  { hop; links }
+
+let hops t ~src ~dst = t.hop.(src).(dst)
+
+let path_links t ~src ~dst = t.links.(src).(dst)
+
+(* Maximum hop count over all pairs (network diameter under the fixed
+   routing). *)
+let diameter t =
+  Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 t.hop

@@ -1,0 +1,19 @@
+(** Fixed shortest-path routing between every pair of VHOs (paper Sec. III:
+    a predetermined path [P_ij] per ordered pair; only the set of links on
+    the path matters to the MIP, and [P_ii] is empty). *)
+
+type t
+
+(** Precompute all-pairs shortest paths by hop count with deterministic
+    tie-breaking. Raises [Invalid_argument] if the graph is disconnected. *)
+val compute : Graph.t -> t
+
+(** Hop count |P_ij|; 0 when [src = dst]. *)
+val hops : t -> src:int -> dst:int -> int
+
+(** Directed link ids on the fixed path from [src] to [dst], in order;
+    the empty array when [src = dst]. *)
+val path_links : t -> src:int -> dst:int -> int array
+
+(** Maximum hop count over all ordered pairs. *)
+val diameter : t -> int

@@ -1,0 +1,1 @@
+lib/util/sampler.ml: Array Float Rng Stack

@@ -1,0 +1,16 @@
+(** Constant-time sampling from a fixed discrete distribution
+    (Walker's alias method). *)
+
+type t
+
+(** [create weights] preprocesses the (unnormalized, nonnegative) weight
+    vector in O(n). Raises [Invalid_argument] on an empty vector, a
+    negative weight, or an all-zero vector. *)
+val create : float array -> t
+
+(** [draw t rng] samples an index with probability proportional to its
+    weight, in O(1). *)
+val draw : t -> Rng.t -> int
+
+(** Number of outcomes. *)
+val size : t -> int

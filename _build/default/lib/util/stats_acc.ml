@@ -1,0 +1,53 @@
+(* Small numeric helpers shared by the trace analyzer, the simulator and
+   the benchmark harness. *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let max_elt a = Array.fold_left Float.max neg_infinity a
+
+let min_elt a = Array.fold_left Float.min infinity a
+
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+(* [percentile p a] with p in [0,1]; nearest-rank on a sorted copy. *)
+let percentile p a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats_acc.percentile: empty array";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats_acc.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+  sorted.(idx)
+
+(* Cosine similarity between two sparse vectors represented as
+   (index, value) association via hash tables. Used for the paper's Fig. 3
+   request-mix similarity metric. *)
+let cosine_similarity (v1 : (int, float) Hashtbl.t) (v2 : (int, float) Hashtbl.t) =
+  let dot = ref 0.0 in
+  Hashtbl.iter
+    (fun k x -> match Hashtbl.find_opt v2 k with Some y -> dot := !dot +. (x *. y) | None -> ())
+    v1;
+  let norm v =
+    let acc = ref 0.0 in
+    Hashtbl.iter (fun _ x -> acc := !acc +. (x *. x)) v;
+    sqrt !acc
+  in
+  let n1 = norm v1 and n2 = norm v2 in
+  if n1 = 0.0 || n2 = 0.0 then 0.0 else !dot /. (n1 *. n2)
+
+(* Geometric mean of positive values; matches the aggregation used for the
+   paper's Table III (geometric mean over scenarios). *)
+let geometric_mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats_acc.geometric_mean: nonpositive value";
+        acc := !acc +. log x)
+      a;
+    exp (!acc /. float_of_int n)
+  end

@@ -1,0 +1,27 @@
+(** Numeric helpers used across the trace analyzer, simulator and bench
+    harness. *)
+
+(** Arithmetic mean; 0 on an empty array. *)
+val mean : float array -> float
+
+(** Maximum element ([neg_infinity] on empty). *)
+val max_elt : float array -> float
+
+(** Minimum element ([infinity] on empty). *)
+val min_elt : float array -> float
+
+(** Sum of elements. *)
+val sum : float array -> float
+
+(** [percentile p a] is the nearest-rank p-quantile (p in [0,1]) of [a].
+    Raises [Invalid_argument] on an empty array or p outside [0,1]. *)
+val percentile : float -> float array -> float
+
+(** Cosine similarity of two sparse vectors keyed by [int] indices, as in
+    the paper's request-mix comparison (Fig. 3). Returns 0 when either
+    vector is zero. *)
+val cosine_similarity : (int, float) Hashtbl.t -> (int, float) Hashtbl.t -> float
+
+(** Geometric mean of strictly positive values (Table III aggregation).
+    Raises [Invalid_argument] on a nonpositive entry. *)
+val geometric_mean : float array -> float

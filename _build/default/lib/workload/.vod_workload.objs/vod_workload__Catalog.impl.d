@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: Array List Video Vod_util

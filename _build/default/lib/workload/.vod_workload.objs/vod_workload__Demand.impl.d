@@ -1,0 +1,1 @@
+lib/workload/demand.ml: Array Catalog Hashtbl List Seq Stats Trace

@@ -1,0 +1,1 @@
+lib/workload/demand.mli: Catalog Trace

@@ -1,0 +1,1 @@
+lib/workload/estimator.ml: Array Catalog Hashtbl List Option Trace Video

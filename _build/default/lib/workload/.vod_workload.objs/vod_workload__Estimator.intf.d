@@ -1,0 +1,1 @@
+lib/workload/estimator.mli: Catalog Trace

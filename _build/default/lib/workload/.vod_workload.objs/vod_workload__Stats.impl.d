@@ -1,0 +1,1 @@
+lib/workload/stats.ml: Array Catalog Hashtbl List Option Trace Video Vod_util

@@ -1,0 +1,1 @@
+lib/workload/tracegen.ml: Array Catalog Float Profiles Trace Video Vod_util

@@ -1,0 +1,1 @@
+lib/workload/tracegen.mli: Catalog Trace Vod_util

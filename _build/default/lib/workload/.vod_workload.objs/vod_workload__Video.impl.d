@@ -1,0 +1,1 @@
+lib/workload/video.ml: Fmt Printf

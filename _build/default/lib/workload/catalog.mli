@@ -1,0 +1,52 @@
+(** Synthetic video catalog generator.
+
+    Composition follows the paper's trace description (music videos,
+    TV-series episodes with weekly releases, movies, 1-3 blockbusters per
+    week); popularity follows the Zipf-with-exponential-cutoff shape of the
+    YouTube distribution the paper uses for its synthetic traces. *)
+
+type t = {
+  videos : Video.t array;
+  n_series : int;
+  trace_days : int;
+}
+
+type params = {
+  n : int;
+  days : int;
+  seed : int;
+  zipf_exponent : float;
+  zipf_cutoff : float;
+  series_frac : float;
+  clip_frac : float;
+  episodes_per_series : int;
+  blockbusters_per_week : int;
+}
+
+(** Paper-calibrated defaults (Zipf 0.8, cutoff at 35% of the catalog, 25%
+    series content, 30% clips, 2 blockbusters/week). *)
+val default_params : n:int -> days:int -> seed:int -> params
+
+(** Number of videos. *)
+val n_videos : t -> int
+
+(** Lookup by id. *)
+val video : t -> int -> Video.t
+
+(** Total storage footprint of one copy of every video, in GB. *)
+val total_size_gb : t -> float
+
+(** [zipf_cutoff_weight ~exponent ~cutoff_frac ~n r] is the popularity
+    weight of rank [r] (0-based) in a catalog of [n]. *)
+val zipf_cutoff_weight :
+  exponent:float -> cutoff_frac:float -> n:int -> int -> float
+
+(** Deterministic catalog generation. Raises [Invalid_argument] on an
+    empty catalog. *)
+val generate : params -> t
+
+(** Episodes of a series, ordered by episode number. *)
+val series_episodes : t -> int -> Video.t list
+
+(** The episode preceding [v] in its series, if any. *)
+val previous_episode : t -> Video.t -> Video.t option

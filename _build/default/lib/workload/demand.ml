@@ -1,0 +1,73 @@
+(* The MIP's demand-side input, built from a (real or predicted) request
+   batch for one placement period:
+
+   - a_j^m : aggregate request count per (video, VHO) over the period
+     (paper Table I), stored sparsely per video;
+   - f_j^m(t) : concurrent-stream counts per (video, VHO) during each of
+     the |T| peak windows (paper uses |T| = 2 one-hour windows). *)
+
+type t = {
+  n_videos : int;
+  n_vhos : int;
+  a : (int * float) array array;          (* a.(video) = [| (vho, count) |] *)
+  f : (int * float) array array array;    (* f.(w).(video) = [| (vho, n) |] *)
+  windows : (float * float) array;        (* [t0, t1) of each peak window *)
+  total_requests : float;
+}
+
+let sparse_of_tbl ~n_videos (tbl : (int * int, int) Hashtbl.t) =
+  let per_video = Array.make n_videos [] in
+  Hashtbl.iter
+    (fun (video, vho) count ->
+      per_video.(video) <- (vho, float_of_int count) :: per_video.(video))
+    tbl;
+  Array.map
+    (fun l ->
+      let arr = Array.of_list l in
+      Array.sort (fun (i, _) (j, _) -> compare i j) arr;
+      arr)
+    per_video
+
+(* [of_requests] builds the demand model from a request batch. [day0] is
+   the first day of the placement period; requests are rebased so peak
+   selection works on a [days]-long horizon. *)
+let of_requests (catalog : Catalog.t) ~n_vhos ~day0 ~days ~n_windows ~window_s
+    (requests : Trace.request array) =
+  let base = float_of_int day0 *. Trace.seconds_per_day in
+  let rebased =
+    Array.map (fun r -> { r with Trace.time_s = r.Trace.time_s -. base }) requests
+  in
+  (* Requests may spill slightly outside the period (e.g. a prediction
+     cloned from a source with a different weekday alignment); clamp. *)
+  let horizon = float_of_int days *. Trace.seconds_per_day in
+  let rebased =
+    Array.of_seq
+      (Seq.filter
+         (fun r -> r.Trace.time_s >= 0.0 && r.Trace.time_s < horizon)
+         (Array.to_seq rebased))
+  in
+  let trace = Trace.create ~n_vhos ~days rebased in
+  let n_videos = Catalog.n_videos catalog in
+  let a = sparse_of_tbl ~n_videos (Stats.aggregate_demand trace) in
+  let window_starts = Stats.peak_windows trace ~window_s ~k:n_windows in
+  let windows =
+    Array.of_list (List.map (fun t0 -> (t0, t0 +. window_s)) window_starts)
+  in
+  let f =
+    Array.map
+      (fun (t0, t1) -> sparse_of_tbl ~n_videos (Stats.concurrency trace catalog ~t0 ~t1))
+      windows
+  in
+  let total_requests = float_of_int (Trace.length trace) in
+  { n_videos; n_vhos; a; f; windows; total_requests }
+
+(* Total requests for a video across VHOs. *)
+let video_requests t video =
+  Array.fold_left (fun acc (_, c) -> acc +. c) 0.0 t.a.(video)
+
+(* Videos ranked by total demand, busiest first (Figs. 7 and 8). *)
+let rank_by_demand t =
+  let order = Array.init t.n_videos (fun v -> v) in
+  let tot = Array.init t.n_videos (fun v -> video_requests t v) in
+  Array.sort (fun x y -> compare tot.(y) tot.(x)) order;
+  order

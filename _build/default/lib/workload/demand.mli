@@ -1,0 +1,35 @@
+(** The MIP's demand-side inputs for one placement period: sparse aggregate
+    request counts [a_j^m] and peak-window concurrency [f_j^m(t)]
+    (paper Table I, Sec. VI-B). *)
+
+type t = {
+  n_videos : int;
+  n_vhos : int;
+  a : (int * float) array array;
+      (** [a.(video)] = sorted [(vho, request count)] pairs *)
+  f : (int * float) array array array;
+      (** [f.(w).(video)] = sorted [(vho, concurrent streams)] pairs for
+          peak window [w] *)
+  windows : (float * float) array;  (** the |T| peak windows, [t0, t1) *)
+  total_requests : float;
+}
+
+(** [of_requests catalog ~n_vhos ~day0 ~days ~n_windows ~window_s reqs]
+    rebases the batch to day [day0], selects the [n_windows] busiest
+    [window_s]-second windows on distinct days, and extracts [a] and [f].
+    Requests outside the [days]-long period are dropped. *)
+val of_requests :
+  Catalog.t ->
+  n_vhos:int ->
+  day0:int ->
+  days:int ->
+  n_windows:int ->
+  window_s:float ->
+  Trace.request array ->
+  t
+
+(** Total request count of a video across VHOs. *)
+val video_requests : t -> int -> float
+
+(** Video ids sorted by decreasing total demand. *)
+val rank_by_demand : t -> int array

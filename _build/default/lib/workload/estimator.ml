@@ -1,0 +1,93 @@
+(* Demand estimation (paper Sec. VI-A).
+
+   Every strategy produces a *predicted request batch* for the upcoming
+   placement period; Demand.of_requests then turns the batch into the
+   MIP's (a, f) inputs. Unifying prediction as "a synthetic trace" keeps
+   peak-window selection and concurrency extraction identical across
+   strategies.
+
+   - History_only    : last week's requests replayed one week later — the
+                       paper's "no estimate" row (new videos get nothing).
+   - Series_blockbuster : the paper's default. History, plus: a new series
+                       episode inherits the previous week's episode of the
+                       same series; a blockbuster released next week
+                       inherits the most requested movie of last week.
+   - Perfect         : oracle — the actual upcoming week's requests
+                       (paper's "perfect estimate" row). *)
+
+type strategy = History_only | Series_blockbuster | Perfect
+
+let shift_week (r : Trace.request) = { r with Trace.time_s = r.Trace.time_s +. (7.0 *. Trace.seconds_per_day) }
+
+let history_week (full : Trace.t) ~week_start =
+  Trace.between_days full ~day_lo:(week_start - 7) ~day_hi:week_start
+
+(* Most-requested movie (1 h / 2 h classes) of the history window; the
+   donor demand pattern for blockbusters. *)
+let top_movie (catalog : Catalog.t) (history : Trace.request array) =
+  let counts = Hashtbl.create 1024 in
+  Array.iter
+    (fun r ->
+      let v = Catalog.video catalog r.Trace.video in
+      match v.Video.size_class with
+      | Video.Movie | Video.Long_movie ->
+          let c = Option.value ~default:0 (Hashtbl.find_opt counts r.Trace.video) in
+          Hashtbl.replace counts r.Trace.video (c + 1)
+      | Video.Clip | Video.Show -> ())
+    history;
+  Hashtbl.fold
+    (fun video c best ->
+      match best with
+      | Some (_, bc) when bc >= c -> best
+      | _ -> Some (video, c))
+    counts None
+  |> Option.map fst
+
+(* Requests for one video in a batch, re-targeted to [new_video] and
+   shifted one week forward. *)
+let clone_requests (history : Trace.request array) ~src_video ~new_video =
+  Array.to_list history
+  |> List.filter_map (fun r ->
+         if r.Trace.video = src_video then
+           Some (shift_week { r with Trace.video = new_video })
+         else None)
+
+let predict strategy (catalog : Catalog.t) (full : Trace.t) ~week_start =
+  match strategy with
+  | Perfect -> Trace.between_days full ~day_lo:week_start ~day_hi:(week_start + 7)
+  | History_only ->
+      Array.map shift_week (history_week full ~week_start)
+  | Series_blockbuster ->
+      let history = history_week full ~week_start in
+      let base = Array.to_list (Array.map shift_week history) in
+      let extra = ref [] in
+      Array.iter
+        (fun v ->
+          let releases_this_week =
+            v.Video.release_day >= week_start && v.Video.release_day < week_start + 7
+          in
+          if releases_this_week then
+            match v.Video.kind with
+            | Video.Episode _ -> (
+                match Catalog.previous_episode catalog v with
+                | Some prev ->
+                    extra :=
+                      clone_requests history ~src_video:prev.Video.id
+                        ~new_video:v.Video.id
+                      @ !extra
+                | None -> ())
+            | Video.Blockbuster -> (
+                match top_movie catalog history with
+                | Some donor ->
+                    extra :=
+                      clone_requests history ~src_video:donor ~new_video:v.Video.id
+                      @ !extra
+                | None -> ())
+            | Video.Regular | Video.Music_video -> ())
+        catalog.Catalog.videos;
+      Array.of_list (base @ !extra)
+
+let name = function
+  | History_only -> "no-estimate"
+  | Series_blockbuster -> "series+blockbuster"
+  | Perfect -> "perfect"

@@ -1,0 +1,23 @@
+(** Demand estimation for the upcoming placement period (paper Sec. VI-A).
+    Each strategy emits a predicted request batch; [Demand.of_requests]
+    turns it into the MIP inputs. *)
+
+type strategy =
+  | History_only       (** last week replayed — the paper's "no estimate" *)
+  | Series_blockbuster (** the paper's default: history + series episode
+                           inheritance + blockbuster donor *)
+  | Perfect            (** oracle: the actual upcoming week *)
+
+(** [predict strategy catalog full ~week_start] returns predicted requests
+    for days [week_start, week_start + 7), with absolute times. *)
+val predict :
+  strategy -> Catalog.t -> Trace.t -> week_start:int -> Trace.request array
+
+(** Requests of the week before [week_start] (the estimation history). *)
+val history_week : Trace.t -> week_start:int -> Trace.request array
+
+(** Most-requested movie of a batch, if any (blockbuster donor). *)
+val top_movie : Catalog.t -> Trace.request array -> int option
+
+(** Human-readable strategy name for reports. *)
+val name : strategy -> string

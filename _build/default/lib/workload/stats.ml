@@ -1,0 +1,191 @@
+(* Trace analytics backing the paper's Sec. IV motivation figures and the
+   peak-window machinery of Sec. VI-B. *)
+
+(* [peak_hour trace] returns the start time (seconds) of the busiest
+   1-hour-aligned window of the trace. *)
+let peak_hour (trace : Trace.t) =
+  let hours = trace.Trace.days * 24 in
+  let counts = Array.make hours 0 in
+  Trace.iter
+    (fun r ->
+      let h = int_of_float (r.Trace.time_s /. 3600.0) in
+      if h >= 0 && h < hours then counts.(h) <- counts.(h) + 1)
+    trace;
+  let best = ref 0 in
+  Array.iteri (fun h c -> if c > counts.(!best) then best := h) counts;
+  float_of_int !best *. 3600.0
+
+(* [peak_hours trace ~k] returns the start times of the [k] busiest
+   1-hour-aligned windows on *distinct days* — the paper enforces link
+   constraints at |T| = 2 peak windows, typically Friday and Saturday
+   evenings. *)
+let peak_hours (trace : Trace.t) ~k =
+  let hours = trace.Trace.days * 24 in
+  let counts = Array.make hours 0 in
+  Trace.iter
+    (fun r ->
+      let h = int_of_float (r.Trace.time_s /. 3600.0) in
+      if h >= 0 && h < hours then counts.(h) <- counts.(h) + 1)
+    trace;
+  let order = Array.init hours (fun h -> h) in
+  Array.sort (fun a b -> compare counts.(b) counts.(a)) order;
+  let chosen = ref [] and used_days = Hashtbl.create 8 in
+  (try
+     Array.iter
+       (fun h ->
+         let day = h / 24 in
+         if not (Hashtbl.mem used_days day) then begin
+           Hashtbl.add used_days day ();
+           chosen := h :: !chosen;
+           if List.length !chosen >= k then raise Exit
+         end)
+       order
+   with Exit -> ());
+  List.rev_map (fun h -> float_of_int h *. 3600.0) !chosen |> List.rev
+
+(* Generalization of [peak_hours] to an arbitrary window size: the start
+   times of the [k] busiest [window_s]-aligned windows on distinct days.
+   Used for Table V, where the paper varies the peak window from 1 s to
+   1 day. *)
+let peak_windows (trace : Trace.t) ~window_s ~k =
+  if window_s <= 0.0 then invalid_arg "Stats.peak_windows: window_s must be positive";
+  let horizon = float_of_int trace.Trace.days *. Trace.seconds_per_day in
+  let n_bins = int_of_float (ceil (horizon /. window_s)) in
+  let counts = Array.make n_bins 0 in
+  Trace.iter
+    (fun r ->
+      let b = int_of_float (r.Trace.time_s /. window_s) in
+      if b >= 0 && b < n_bins then counts.(b) <- counts.(b) + 1)
+    trace;
+  let order = Array.init n_bins (fun b -> b) in
+  Array.sort (fun a b -> compare counts.(b) counts.(a)) order;
+  let chosen = ref [] and used_days = Hashtbl.create 8 in
+  (try
+     Array.iter
+       (fun b ->
+         let day = Trace.day_of_time (float_of_int b *. window_s) in
+         if not (Hashtbl.mem used_days day) then begin
+           Hashtbl.add used_days day ();
+           chosen := b :: !chosen;
+           if List.length !chosen >= k then raise Exit
+         end)
+       order
+   with Exit -> ());
+  List.rev_map (fun b -> float_of_int b *. window_s) !chosen |> List.rev
+
+(* Working set of a VHO in a window: the distinct videos requested, and the
+   disk space they occupy (Fig. 2 reports both, normalized by library
+   size). *)
+let working_set (trace : Trace.t) (catalog : Catalog.t) ~vho ~t0 ~t1 =
+  let seen = Hashtbl.create 256 in
+  Trace.iter
+    (fun r ->
+      if r.Trace.vho = vho && r.Trace.time_s >= t0 && r.Trace.time_s < t1 then
+        Hashtbl.replace seen r.Trace.video ())
+    trace;
+  let distinct = Hashtbl.length seen in
+  let size =
+    Hashtbl.fold
+      (fun video () acc -> acc +. Video.size_gb (Catalog.video catalog video))
+      seen 0.0
+  in
+  (distinct, size)
+
+(* Request-count vector of a VHO over a window, as a sparse hashtable
+   (video -> count), for the cosine-similarity analysis of Fig. 3. *)
+let request_vector (trace : Trace.t) ~vho ~t0 ~t1 =
+  let v = Hashtbl.create 256 in
+  Trace.iter
+    (fun r ->
+      if r.Trace.vho = vho && r.Trace.time_s >= t0 && r.Trace.time_s < t1 then
+        let c = Option.value ~default:0.0 (Hashtbl.find_opt v r.Trace.video) in
+        Hashtbl.replace v r.Trace.video (c +. 1.0))
+    trace;
+  v
+
+(* Fig. 3: for a window size [w] seconds, partition time into intervals of
+   size [w]; compare the interval containing the global peak instant with
+   the previous interval, per VHO. Returns the per-VHO similarity array. *)
+let peak_interval_similarity (trace : Trace.t) ~window_s =
+  let peak_t = peak_hour trace +. 1800.0 (* middle of the peak hour *) in
+  let idx = int_of_float (peak_t /. window_s) in
+  if idx = 0 then Array.make trace.Trace.n_vhos 1.0
+  else
+    Array.init trace.Trace.n_vhos (fun vho ->
+        let t0 = float_of_int idx *. window_s in
+        let v_cur = request_vector trace ~vho ~t0 ~t1:(t0 +. window_s) in
+        let v_prev = request_vector trace ~vho ~t0:(t0 -. window_s) ~t1:t0 in
+        Vod_util.Stats_acc.cosine_similarity v_cur v_prev)
+
+(* Concurrent-stream counts per (video, vho) for a window: a request is
+   counted if its playback interval [t_req, t_req + duration) intersects
+   [t0, t1). With a 1-second window this is instantaneous concurrency; with
+   a 1-day window it over-counts — exactly the over-provisioning effect the
+   paper studies in Table V. Returns a sparse per-video list. *)
+let concurrency (trace : Trace.t) (catalog : Catalog.t) ~t0 ~t1 =
+  let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  Trace.iter
+    (fun r ->
+      let dur = Video.duration_s (Catalog.video catalog r.Trace.video) in
+      let start = r.Trace.time_s and fin = r.Trace.time_s +. dur in
+      if start < t1 && fin > t0 then
+        let key = (r.Trace.video, r.Trace.vho) in
+        let c = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+        Hashtbl.replace tbl key (c + 1))
+    trace;
+  tbl
+
+(* Per-(video, vho) aggregate request counts over the trace (the MIP's
+   a_j^m input). *)
+let aggregate_demand (trace : Trace.t) =
+  let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  Trace.iter
+    (fun r ->
+      let key = (r.Trace.video, r.Trace.vho) in
+      let c = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (c + 1))
+    trace;
+  tbl
+
+(* Least-squares Zipf exponent fit on the head of a rank/frequency curve:
+   regress log(count) on log(rank) over the top [head_frac] of ranks
+   (the exponential cutoff bends the tail, so fitting the head recovers
+   the underlying exponent). Returns the positive exponent alpha such
+   that count(r) ~ r^-alpha. Used to validate that generated traces match
+   the configured popularity law. *)
+let fit_zipf_exponent ?(head_frac = 0.2) counts =
+  let sorted = Array.copy counts in
+  Array.sort (fun a b -> compare b a) sorted;
+  let n = Array.length sorted in
+  let k = max 2 (int_of_float (head_frac *. float_of_int n)) in
+  let xs = ref [] and ys = ref [] in
+  for r = 0 to min (k - 1) (n - 1) do
+    if sorted.(r) > 0 then begin
+      xs := log (float_of_int (r + 1)) :: !xs;
+      ys := log (float_of_int sorted.(r)) :: !ys
+    end
+  done;
+  let xs = Array.of_list !xs and ys = Array.of_list !ys in
+  let m = Array.length xs in
+  if m < 2 then invalid_arg "Stats.fit_zipf_exponent: not enough positive counts";
+  let mf = float_of_int m in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. mf in
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to m - 1 do
+    num := !num +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    den := !den +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
+  done;
+  if !den = 0.0 then invalid_arg "Stats.fit_zipf_exponent: degenerate ranks";
+  -.(!num /. !den)
+
+(* Daily request counts for one video (Fig. 4's per-episode series). *)
+let daily_counts (trace : Trace.t) ~video =
+  let counts = Array.make trace.Trace.days 0 in
+  Trace.iter
+    (fun r ->
+      if r.Trace.video = video then
+        let d = Trace.day_of_time r.Trace.time_s in
+        if d >= 0 && d < trace.Trace.days then counts.(d) <- counts.(d) + 1)
+    trace;
+  counts

@@ -1,0 +1,60 @@
+(* A request trace: the simulator's and the demand estimator's common
+   input. Times are absolute seconds from trace start (day 0, 00:00). *)
+
+type request = {
+  time_s : float;
+  vho : int;
+  video : int;
+}
+
+type t = {
+  requests : request array;  (* sorted by time *)
+  n_vhos : int;
+  days : int;
+}
+
+let seconds_per_day = 86_400.0
+
+let day_of_time time_s = int_of_float (time_s /. seconds_per_day)
+
+let create ~n_vhos ~days requests =
+  let sorted = Array.copy requests in
+  Array.sort (fun a b -> compare a.time_s b.time_s) sorted;
+  Array.iter
+    (fun r ->
+      if r.vho < 0 || r.vho >= n_vhos then invalid_arg "Trace.create: vho out of range";
+      if r.time_s < 0.0 || r.time_s >= float_of_int days *. seconds_per_day then
+        invalid_arg "Trace.create: request time outside trace horizon")
+    sorted;
+  { requests = sorted; n_vhos; days }
+
+let length t = Array.length t.requests
+
+(* Requests with day in [day_lo, day_hi) — a contiguous slice because the
+   trace is time-sorted. *)
+let between_days t ~day_lo ~day_hi =
+  let lo_t = float_of_int day_lo *. seconds_per_day in
+  let hi_t = float_of_int day_hi *. seconds_per_day in
+  let n = Array.length t.requests in
+  (* Binary search for the first index with time >= bound. *)
+  let lower bound =
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.requests.(mid).time_s < bound then go (mid + 1) hi else go lo mid
+    in
+    go 0 n
+  in
+  let i0 = lower lo_t and i1 = lower hi_t in
+  Array.sub t.requests i0 (i1 - i0)
+
+let iter f t = Array.iter f t.requests
+
+let fold f init t = Array.fold_left f init t.requests
+
+(* Per-video total request counts. *)
+let counts_per_video t ~n_videos =
+  let c = Array.make n_videos 0 in
+  Array.iter (fun r -> c.(r.video) <- c.(r.video) + 1) t.requests;
+  c

@@ -1,0 +1,36 @@
+(** Request traces: the common input of the simulator and the demand
+    estimator. Times are absolute seconds from trace start. *)
+
+type request = {
+  time_s : float;
+  vho : int;
+  video : int;
+}
+
+type t = {
+  requests : request array;  (** sorted by time *)
+  n_vhos : int;
+  days : int;
+}
+
+val seconds_per_day : float
+
+(** Day index containing an absolute time. *)
+val day_of_time : float -> int
+
+(** [create ~n_vhos ~days requests] sorts and validates a request batch.
+    Raises [Invalid_argument] on out-of-range VHO ids or times. *)
+val create : n_vhos:int -> days:int -> request array -> t
+
+(** Number of requests. *)
+val length : t -> int
+
+(** Requests whose day lies in [day_lo, day_hi). *)
+val between_days : t -> day_lo:int -> day_hi:int -> request array
+
+val iter : (request -> unit) -> t -> unit
+
+val fold : ('a -> request -> 'a) -> 'a -> t -> 'a
+
+(** Per-video total request counts over the whole trace. *)
+val counts_per_video : t -> n_videos:int -> int array

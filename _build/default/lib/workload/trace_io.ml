@@ -1,0 +1,54 @@
+(* Trace import/export.
+
+   A production deployment feeds the optimizer from real request logs; a
+   CSV with one request per line is the interchange format:
+
+     time_s,vho,video
+     8123.5,12,4711
+
+   [save_csv]/[load_csv] round-trip exactly, so operators can also export
+   a synthetic trace, replay it elsewhere, or splice in their own. *)
+
+let header = "time_s,vho,video"
+
+let save_csv (trace : Trace.t) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (header ^ "\n");
+      Trace.iter
+        (fun r ->
+          Printf.fprintf oc "%.3f,%d,%d\n" r.Trace.time_s r.Trace.vho r.Trace.video)
+        trace)
+
+let parse_line ~lineno line =
+  match String.split_on_char ',' (String.trim line) with
+  | [ t; vho; video ] -> (
+      try
+        {
+          Trace.time_s = float_of_string t;
+          vho = int_of_string vho;
+          video = int_of_string video;
+        }
+      with Failure _ ->
+        invalid_arg (Printf.sprintf "Trace_io.load_csv: bad record on line %d" lineno))
+  | _ -> invalid_arg (Printf.sprintf "Trace_io.load_csv: bad record on line %d" lineno)
+
+let load_csv ~n_vhos ~days path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let requests = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           let line = input_line ic in
+           let trimmed = String.trim line in
+           if trimmed <> "" && not (!lineno = 1 && trimmed = header) then
+             requests := parse_line ~lineno:!lineno trimmed :: !requests
+         done
+       with End_of_file -> ());
+      Trace.create ~n_vhos ~days (Array.of_list !requests))

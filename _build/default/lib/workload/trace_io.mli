@@ -1,0 +1,14 @@
+(** Trace import/export in a one-request-per-line CSV format
+    ([time_s,vho,video]) so real request logs can drive the optimizer and
+    synthetic traces can be exported for external replay. *)
+
+(** The CSV header line. *)
+val header : string
+
+(** Write a trace; overwrites [path]. *)
+val save_csv : Trace.t -> string -> unit
+
+(** Load and validate a trace. Raises [Invalid_argument] on malformed
+    records (with the line number) or on out-of-range VHO ids / times
+    (via {!Trace.create}); raises [Sys_error] if the file is unreadable. *)
+val load_csv : n_vhos:int -> days:int -> string -> Trace.t

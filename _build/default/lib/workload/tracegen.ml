@@ -1,0 +1,100 @@
+(* Synthetic request-trace generator.
+
+   The paper's evaluation drives a month of requests against a 55-VHO
+   backbone, with per-VHO volumes proportional to metro population, a
+   Zipf-with-cutoff video popularity, weekly/diurnal intensity and weekly
+   series releases. All of these knobs are reproduced here; the generated
+   trace is what every figure/table experiment replays. *)
+
+type params = {
+  catalog : Catalog.t;
+  populations : float array;   (* per-VHO demand weight (Graph.populations) *)
+  mean_daily_requests : float; (* across all VHOs, before weekday scaling *)
+  taste_spread : float;        (* regional mix differentiation, 0 = uniform *)
+  seed : int;
+}
+
+let default_params ~catalog ~populations ~mean_daily_requests ~seed =
+  { catalog; populations; mean_daily_requests; taste_spread = 0.9; seed }
+
+(* Poisson sample; exact (Knuth) for small lambda, normal approximation for
+   large lambda, which is all the generator needs. *)
+let poisson rng lambda =
+  if lambda <= 0.0 then 0
+  else if lambda < 30.0 then begin
+    let l = exp (-.lambda) in
+    let k = ref 0 and p = ref 1.0 in
+    let continue = ref true in
+    while !continue do
+      incr k;
+      p := !p *. Vod_util.Rng.float rng;
+      if !p <= l then continue := false
+    done;
+    !k - 1
+  end
+  else begin
+    (* Box-Muller normal approximation. *)
+    let u1 = max 1e-12 (Vod_util.Rng.float rng) in
+    let u2 = Vod_util.Rng.float rng in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    let x = lambda +. (sqrt lambda *. z) in
+    max 0 (int_of_float (Float.round x))
+  end
+
+let generate (p : params) =
+  let n_vhos = Array.length p.populations in
+  if n_vhos = 0 then invalid_arg "Tracegen.generate: no VHOs";
+  let days = p.catalog.Catalog.trace_days in
+  let rng = Vod_util.Rng.create p.seed in
+  let vho_sampler = Vod_util.Sampler.create p.populations in
+  let hour_sampler = Vod_util.Sampler.create Profiles.hour_of_day_weight in
+  let day_weight_sum = ref 0.0 in
+  for d = 0 to days - 1 do
+    day_weight_sum := !day_weight_sum +. Profiles.day_weight d
+  done;
+  let day_scale = float_of_int days /. !day_weight_sum in
+  let requests = ref [] in
+  let videos = p.catalog.Catalog.videos in
+  let weights = Array.make (Array.length videos) 0.0 in
+  let taste_accept_bound = 1.0 +. p.taste_spread in
+  (* Episodes of one series share a regional audience: key their taste
+     multiplier by the series, not the episode — this is what makes the
+     paper's series-based demand estimation work (Sec. VI-A). *)
+  let taste_key =
+    Array.map
+      (fun v ->
+        match v.Video.kind with
+        | Video.Episode { series; _ } -> max_int - series
+        | Video.Regular | Video.Music_video | Video.Blockbuster -> v.Video.id)
+      videos
+  in
+  for day = 0 to days - 1 do
+    Array.iteri (fun i v -> weights.(i) <- Profiles.video_day_weight v ~day) videos;
+    let video_sampler = Vod_util.Sampler.create weights in
+    let lambda = p.mean_daily_requests *. Profiles.day_weight day *. day_scale in
+    let count = poisson rng lambda in
+    for _ = 1 to count do
+      let video = Vod_util.Sampler.draw video_sampler rng in
+      (* Rejection-sample the VHO against the taste multiplier so that
+         P(vho | video) is proportional to population * taste. *)
+      let rec pick_vho () =
+        let vho = Vod_util.Sampler.draw vho_sampler rng in
+        let accept =
+          Profiles.taste_multiplier ~spread:p.taste_spread ~vho
+            ~video:taste_key.(video)
+          /. taste_accept_bound
+        in
+        if Vod_util.Rng.float rng < accept then vho else pick_vho ()
+      in
+      let vho = pick_vho () in
+      let hour = Vod_util.Sampler.draw hour_sampler rng in
+      let sec_in_hour = Vod_util.Rng.float rng *. 3600.0 in
+      let time_s =
+        (float_of_int day *. Trace.seconds_per_day)
+        +. (float_of_int hour *. 3600.0)
+        +. sec_in_hour
+      in
+      requests := { Trace.time_s; vho; video } :: !requests
+    done
+  done;
+  Trace.create ~n_vhos ~days (Array.of_list !requests)

@@ -1,0 +1,28 @@
+(** Synthetic request-trace generator reproducing the properties the
+    paper's evaluation depends on: population-proportional per-VHO volume,
+    Zipf-with-cutoff popularity, Fri/Sat-heavy weekly and prime-time-peaked
+    diurnal intensity, freshness spikes for weekly series episodes and
+    blockbusters, and regional taste variation. *)
+
+type params = {
+  catalog : Catalog.t;
+  populations : float array;
+  mean_daily_requests : float;
+  taste_spread : float;
+  seed : int;
+}
+
+(** Defaults with [taste_spread = 0.6]. *)
+val default_params :
+  catalog:Catalog.t ->
+  populations:float array ->
+  mean_daily_requests:float ->
+  seed:int ->
+  params
+
+(** Poisson sampler (exact for small lambda, normal approximation above 30);
+    exposed for tests. *)
+val poisson : Vod_util.Rng.t -> float -> int
+
+(** Generate the full trace, deterministically from [params.seed]. *)
+val generate : params -> Trace.t

@@ -1,0 +1,56 @@
+(* The catalog's unit of placement. The paper maps all content to four
+   length classes (5 min / 30 min / 1 h / 2 h stored as 100 MB / 500 MB /
+   1 GB / 2 GB) streaming at 2 Mb/s SD (Sec. VII-A). *)
+
+type size_class = Clip | Show | Movie | Long_movie
+
+type kind =
+  | Regular                                        (* back-catalog movie / show *)
+  | Music_video
+  | Episode of { series : int; episode : int }     (* TV series content *)
+  | Blockbuster
+
+type t = {
+  id : int;
+  size_class : size_class;
+  kind : kind;
+  release_day : int;   (* day the video enters the catalog; <= 0 means it
+                          predates the trace *)
+  base_weight : float; (* steady-state popularity weight (Zipf w/ cutoff) *)
+}
+
+let size_gb v =
+  match v.size_class with
+  | Clip -> 0.1
+  | Show -> 0.5
+  | Movie -> 1.0
+  | Long_movie -> 2.0
+
+let duration_s v =
+  match v.size_class with
+  | Clip -> 300.0
+  | Show -> 1800.0
+  | Movie -> 3600.0
+  | Long_movie -> 7200.0
+
+(* All content is standard definition at 2 Mb/s (Sec. VII-A). *)
+let rate_mbps (_ : t) = 2.0
+
+let is_new ~day v = v.release_day > 0 && v.release_day > day - 7
+
+let pp ppf v =
+  let cls =
+    match v.size_class with
+    | Clip -> "clip"
+    | Show -> "show"
+    | Movie -> "movie"
+    | Long_movie -> "long-movie"
+  in
+  let kind =
+    match v.kind with
+    | Regular -> "regular"
+    | Music_video -> "music"
+    | Episode { series; episode } -> Printf.sprintf "series%d/ep%d" series episode
+    | Blockbuster -> "blockbuster"
+  in
+  Fmt.pf ppf "video#%d[%s,%s,release=%d]" v.id cls kind v.release_day

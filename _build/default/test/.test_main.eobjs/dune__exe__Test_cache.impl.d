@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array List QCheck QCheck_alcotest Vod_cache Vod_placement Vod_topology Vod_workload

@@ -1,0 +1,1 @@
+test/test_cache2.ml: Alcotest Array List Vod_cache Vod_topology Vod_workload

@@ -1,0 +1,1 @@
+test/test_chunking.ml: Alcotest Array Float Printf Vod_cache Vod_placement Vod_topology Vod_workload

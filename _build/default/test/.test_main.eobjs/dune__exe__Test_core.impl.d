@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Option Printf Vod_cache Vod_core Vod_epf Vod_sim Vod_topology Vod_workload

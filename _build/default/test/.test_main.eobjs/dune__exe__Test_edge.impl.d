@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Vod_cache Vod_placement Vod_sim Vod_topology Vod_workload

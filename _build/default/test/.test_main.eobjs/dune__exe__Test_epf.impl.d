@@ -1,0 +1,1 @@
+test/test_epf.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Vod_epf Vod_lp Vod_util

@@ -1,0 +1,1 @@
+test/test_facility.ml: Alcotest Array Float List QCheck QCheck_alcotest Vod_facility Vod_util

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Float Sys Vod_placement Vod_topology Vod_workload

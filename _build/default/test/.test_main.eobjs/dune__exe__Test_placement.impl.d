@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Vod_epf Vod_facility Vod_lp Vod_placement Vod_topology Vod_workload

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Float List QCheck QCheck_alcotest Vod_epf Vod_placement Vod_topology Vod_util Vod_workload

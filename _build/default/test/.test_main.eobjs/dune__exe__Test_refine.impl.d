@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array List Vod_core Vod_epf Vod_topology

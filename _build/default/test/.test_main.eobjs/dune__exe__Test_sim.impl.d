@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Vod_cache Vod_sim Vod_topology Vod_workload

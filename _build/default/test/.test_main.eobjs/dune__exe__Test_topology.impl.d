@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Float Vod_topology

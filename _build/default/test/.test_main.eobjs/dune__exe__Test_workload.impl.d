@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Hashtbl List Option Printf Vod_topology Vod_util Vod_workload

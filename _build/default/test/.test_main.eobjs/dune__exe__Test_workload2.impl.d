@@ -1,0 +1,1 @@
+test/test_workload2.ml: Alcotest Array Float Hashtbl List Printf Vod_topology Vod_util Vod_workload

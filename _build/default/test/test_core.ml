@@ -1,0 +1,120 @@
+(* Integration tests: scenarios and the full weekly pipeline at toy scale,
+   exercising every scheme end-to-end. *)
+
+module Sc = Vod_core.Scenario
+module P = Vod_core.Pipeline
+
+let tiny_scenario () =
+  let graph =
+    Vod_topology.Graph.create ~name:"ring6" ~n:6
+      ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0); (0, 3) ]
+      ~populations:[| 3.0; 1.0; 2.0; 1.0; 1.0; 1.0 |]
+  in
+  Sc.make ~days:21 ~requests_per_video_per_day:8.0 ~seed:13 ~graph ~n_videos:60 ()
+
+let scenario_construction () =
+  let sc = tiny_scenario () in
+  Alcotest.(check int) "days" 21 sc.Sc.trace.Vod_workload.Trace.days;
+  Alcotest.(check bool) "library sized" true (Sc.library_gb sc > 0.0);
+  let disk = Sc.uniform_disk sc ~multiple:2.0 in
+  Alcotest.(check int) "per-vho" 6 (Array.length disk);
+  Alcotest.(check (float 0.01)) "aggregate = 2x library" (2.0 *. Sc.library_gb sc)
+    (Array.fold_left ( +. ) 0.0 disk)
+
+let hetero_disk_shape () =
+  let sc = tiny_scenario () in
+  let disk = Sc.hetero_disk sc ~multiple:2.0 in
+  Alcotest.(check (float 0.01)) "aggregate preserved" (2.0 *. Sc.library_gb sc)
+    (Array.fold_left ( +. ) 0.0 disk);
+  (* The largest metro gets the largest share (4:2:1 classes). *)
+  let top = Vod_topology.Topologies.top_population_nodes sc.Sc.graph 1 in
+  let max_disk = Array.fold_left Float.max 0.0 disk in
+  Alcotest.(check (float 1e-9)) "largest metro largest disk" max_disk disk.(top.(0))
+
+let demand_of_week_works () =
+  let sc = tiny_scenario () in
+  let d = Sc.demand_of_week sc ~day0:7 () in
+  Alcotest.(check bool) "nonzero demand" true (d.Vod_workload.Demand.total_requests > 0.0);
+  Alcotest.(check int) "two windows" 2 (Array.length d.Vod_workload.Demand.windows)
+
+let fast_mip =
+  {
+    P.default_mip with
+    P.engine = { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = 20 };
+  }
+
+let run_scheme scheme =
+  let sc = tiny_scenario () in
+  let disk = Sc.uniform_disk sc ~multiple:2.5 in
+  let cfg =
+    { (P.default_config ~scenario:sc ~disk_gb:disk ~link_capacity_mbps:500.0) with P.warmup_days = 7 }
+  in
+  P.run cfg scheme
+
+let pipeline_conservation result =
+  let m = result.P.metrics in
+  Alcotest.(check bool) "requests counted" true (m.Vod_sim.Metrics.requests > 0);
+  Alcotest.(check int) "local+remote"
+    m.Vod_sim.Metrics.requests
+    (m.Vod_sim.Metrics.local_served + m.Vod_sim.Metrics.remote_served)
+
+let pipeline_mip () =
+  let r = run_scheme (P.Mip fast_mip) in
+  pipeline_conservation r;
+  (* Bootstrap + updates at days 7 and 14. *)
+  Alcotest.(check int) "three solves" 3 (List.length r.P.solves);
+  Alcotest.(check int) "two migrations" 2 (List.length r.P.migrations);
+  Alcotest.(check bool) "has solution" true (Option.is_some (P.last_solution r))
+
+let pipeline_mip_biweekly () =
+  let r = run_scheme (P.Mip { fast_mip with P.update_days = 14 }) in
+  (* Bootstrap + one update at day 7 (21-day trace, step 14). *)
+  Alcotest.(check int) "two solves" 2 (List.length r.P.solves)
+
+let pipeline_random_lru () =
+  let r = run_scheme (P.Random_cache Vod_cache.Cache.Lru) in
+  pipeline_conservation r;
+  Alcotest.(check int) "no solves" 0 (List.length r.P.solves)
+
+let pipeline_random_lfu () = pipeline_conservation (run_scheme (P.Random_cache Vod_cache.Cache.Lfu))
+
+let pipeline_topk () = pipeline_conservation (run_scheme (P.Topk_lru 5))
+
+let pipeline_origin () = pipeline_conservation (run_scheme (P.Origin_lru 2))
+
+let estimation_ordering () =
+  (* Perfect knowledge should never do materially worse than no estimate
+     on total transfer (paper Table VI). Toy scale, so allow slack. *)
+  let run est =
+    let r = run_scheme (P.Mip { fast_mip with P.estimator = est }) in
+    r.P.metrics.Vod_sim.Metrics.total_gb_hops
+  in
+  let perfect = run Vod_workload.Estimator.Perfect in
+  let none = run Vod_workload.Estimator.History_only in
+  Alcotest.(check bool)
+    (Printf.sprintf "perfect (%.0f) <= none (%.0f) * 1.1" perfect none)
+    true (perfect <= none *. 1.1)
+
+let scheme_names () =
+  let sc = tiny_scenario () in
+  let cfg =
+    P.default_config ~scenario:sc ~disk_gb:(Sc.uniform_disk sc ~multiple:2.0)
+      ~link_capacity_mbps:500.0
+  in
+  Alcotest.(check string) "lru name" "random+lru" (P.scheme_name cfg (P.Random_cache Vod_cache.Cache.Lru));
+  Alcotest.(check string) "topk name" "top7+lru" (P.scheme_name cfg (P.Topk_lru 7))
+
+let suite =
+  [
+    Alcotest.test_case "scenario construction" `Quick scenario_construction;
+    Alcotest.test_case "hetero disk shape" `Quick hetero_disk_shape;
+    Alcotest.test_case "demand of week" `Quick demand_of_week_works;
+    Alcotest.test_case "pipeline mip" `Slow pipeline_mip;
+    Alcotest.test_case "pipeline mip biweekly" `Slow pipeline_mip_biweekly;
+    Alcotest.test_case "pipeline random lru" `Quick pipeline_random_lru;
+    Alcotest.test_case "pipeline random lfu" `Quick pipeline_random_lfu;
+    Alcotest.test_case "pipeline topk" `Quick pipeline_topk;
+    Alcotest.test_case "pipeline origin" `Quick pipeline_origin;
+    Alcotest.test_case "estimation ordering" `Slow estimation_ordering;
+    Alcotest.test_case "scheme names" `Quick scheme_names;
+  ]

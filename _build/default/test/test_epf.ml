@@ -1,0 +1,288 @@
+(* Tests for the EPF engine on hand-built block problems with known
+   optima, including a randomized cross-check against the simplex
+   reference. *)
+
+module E = Vod_epf.Engine
+module Sp = Vod_epf.Sparse
+module S = Vod_lp.Simplex
+
+let check_float tol = Alcotest.(check (float tol))
+
+(* --- Sparse vector algebra --- *)
+
+let sparse_ops () =
+  let x = Sp.of_assoc [ (3, 1.0); (1, 2.0); (3, 0.5) ] in
+  Alcotest.(check int) "dedup" 2 (Array.length x);
+  Alcotest.(check (array int)) "sorted support" [| 1; 3 |] (Sp.support x);
+  let y = Sp.of_assoc [ (1, 1.0); (2, 4.0) ] in
+  let z = Sp.axpby 2.0 x 1.0 y in
+  let dense = Array.make 5 0.0 in
+  Sp.add_into dense 1.0 z;
+  Alcotest.(check (array (float 1e-9))) "axpby" [| 0.0; 5.0; 4.0; 3.0; 0.0 |] dense;
+  let prices = [| 0.0; 1.0; 0.5; 2.0; 0.0 |] in
+  check_float 1e-9 "dot" (5.0 +. 2.0 +. 6.0) (Sp.dot prices z);
+  let d = Sp.sub x x in
+  Alcotest.(check int) "self-sub empty" 0 (Array.length d)
+
+let safe_exp_props () =
+  check_float 1e-9 "exp small" (exp 1.0) (E.safe_exp 1.0);
+  Alcotest.(check bool) "monotone at boundary" true (E.safe_exp 501.0 > E.safe_exp 500.0);
+  Alcotest.(check bool) "finite for big input" true (Float.is_finite (E.safe_exp 1e6))
+
+(* --- A single two-point block: min obj s.t. usage <= 1 over the segment
+   between A=(obj 1, usage 2) and B=(obj 3, usage 0.5). LP optimum:
+   tau = 2/3, obj = 7/3. --- *)
+
+let two_point_oracle () =
+  let pa = { E.obj = 1.0; usage = Sp.of_assoc [ (0, 2.0) ]; data = "A" } in
+  let pb = { E.obj = 3.0; usage = Sp.of_assoc [ (0, 0.5) ]; data = "B" } in
+  let priced ~obj_price ~row_price (p : string E.point) =
+    (obj_price *. p.E.obj) +. Sp.dot row_price p.E.usage
+  in
+  let optimize ~obj_price ~row_price =
+    if priced ~obj_price ~row_price pa <= priced ~obj_price ~row_price pb then pa
+    else pb
+  in
+  {
+    E.optimize;
+    optimize_strong = optimize;
+    lower_bound =
+      (fun ~row_price ->
+        Float.min (priced ~obj_price:1.0 ~row_price pa) (priced ~obj_price:1.0 ~row_price pb));
+    initial = (fun () -> pa);
+  }
+
+let single_block_lp () =
+  let outcome =
+    E.solve ~round:false
+      { E.default_params with E.max_passes = 120 }
+      ~capacities:[| 1.0 |]
+      ~oracles:[| two_point_oracle () |]
+  in
+  Alcotest.(check bool) "eps feasible" true (outcome.E.max_violation <= 0.03);
+  (* Fractional optimum 7/3; allow the engine a modest slack. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "near optimum (got %.3f)" outcome.E.objective)
+    true
+    (outcome.E.objective < 7.0 /. 3.0 *. 1.10 +. 0.02);
+  Alcotest.(check bool) "lower bound valid" true
+    (outcome.E.lower_bound <= 7.0 /. 3.0 +. 1e-6);
+  Alcotest.(check bool) "lower bound nontrivial" true (outcome.E.lower_bound > 1.0)
+
+(* --- K identical blocks sharing one capacity row; compare against the
+   simplex solution of the equivalent LP. --- *)
+
+let shared_row_blocks k cap =
+  (* Block i chooses between (obj 1, usage 1) and (obj 4, usage 0.2). *)
+  let pa = { E.obj = 1.0; usage = Sp.of_assoc [ (0, 1.0) ]; data = 0 } in
+  let pb = { E.obj = 4.0; usage = Sp.of_assoc [ (0, 0.2) ]; data = 1 } in
+  let oracle =
+    let priced ~obj_price ~row_price (p : int E.point) =
+      (obj_price *. p.E.obj) +. Sp.dot row_price p.E.usage
+    in
+    let optimize ~obj_price ~row_price =
+      if priced ~obj_price ~row_price pa <= priced ~obj_price ~row_price pb then pa
+      else pb
+    in
+    {
+      E.optimize;
+      optimize_strong = optimize;
+      lower_bound =
+        (fun ~row_price ->
+          Float.min
+            (priced ~obj_price:1.0 ~row_price pa)
+            (priced ~obj_price:1.0 ~row_price pb));
+      initial = (fun () -> pa);
+    }
+  in
+  let lp =
+    (* Variables: t_i = weight on the light point per block.
+       min sum (1 + 3 t_i) s.t. sum (1 - 0.8 t_i) <= cap, 0 <= t <= 1. *)
+    {
+      S.n_vars = k;
+      minimize = Array.make k 3.0;
+      constraints =
+        ({ S.row = List.init k (fun i -> (i, -0.8)); rel = S.Le; rhs = cap -. float_of_int k }
+        :: List.init k (fun i -> { S.row = [ (i, 1.0) ]; rel = S.Le; rhs = 1.0 }));
+    }
+  in
+  (Array.make k oracle, lp)
+
+let multi_block_vs_simplex () =
+  let k = 8 and cap = 4.0 in
+  let oracles, lp = shared_row_blocks k cap in
+  let lp_opt =
+    match S.solve lp with
+    | S.Optimal { objective; _ } -> objective +. float_of_int k (* constant 1/block *)
+    | _ -> Alcotest.fail "simplex failed"
+  in
+  let outcome =
+    E.solve ~round:false
+      { E.default_params with E.max_passes = 150; seed = 3 }
+      ~capacities:[| cap |] ~oracles
+  in
+  Alcotest.(check bool) "feasible" true (outcome.E.max_violation <= 0.03);
+  Alcotest.(check bool)
+    (Printf.sprintf "objective near LP opt (%.3f vs %.3f)" outcome.E.objective lp_opt)
+    true
+    (outcome.E.objective <= lp_opt *. 1.12);
+  Alcotest.(check bool)
+    (Printf.sprintf "LB valid (%.3f <= %.3f)" outcome.E.lower_bound lp_opt)
+    true
+    (outcome.E.lower_bound <= lp_opt +. 1e-6)
+
+let feasibility_mode () =
+  let oracles, _ = shared_row_blocks 6 3.0 in
+  let params = { E.default_params with E.feasibility_only = true; max_passes = 80 } in
+  let outcome = E.solve ~round:false params ~capacities:[| 3.0 |] ~oracles in
+  Alcotest.(check bool) "finds feasible point" true outcome.E.epsilon_feasible;
+  (* cap 1.0 with 6 blocks and min usage 0.2/block = 1.2 > 1: infeasible. *)
+  let oracles, _ = shared_row_blocks 6 1.0 in
+  let outcome = E.solve ~round:false params ~capacities:[| 1.0 |] ~oracles in
+  Alcotest.(check bool) "detects infeasible" false outcome.E.epsilon_feasible
+
+let history_recorded () =
+  let oracles, _ = shared_row_blocks 6 3.0 in
+  let outcome =
+    E.solve ~round:false { E.default_params with E.max_passes = 15 }
+      ~capacities:[| 3.0 |] ~oracles
+  in
+  Alcotest.(check int) "one record per pass" outcome.E.passes
+    (Array.length outcome.E.history);
+  Array.iter
+    (fun (obj, lb, viol) ->
+      (* Note: an *infeasible* iterate may undercut the lower bound, so no
+         lb <= obj invariant here — only nonnegativity. *)
+      Alcotest.(check bool) "sane record" true (obj >= 0.0 && lb >= 0.0 && viol >= 0.0))
+    outcome.E.history;
+  (* Lower bounds are monotone nondecreasing across passes. *)
+  for i = 0 to Array.length outcome.E.history - 2 do
+    let _, lb1, _ = outcome.E.history.(i) and _, lb2, _ = outcome.E.history.(i + 1) in
+    Alcotest.(check bool) "lb monotone" true (lb2 >= lb1 -. 1e-9)
+  done
+
+let rounding_integrality () =
+  let oracles, _ = shared_row_blocks 8 4.0 in
+  let outcome =
+    E.solve ~round:true { E.default_params with E.max_passes = 80 }
+      ~capacities:[| 4.0 |] ~oracles
+  in
+  Array.iter
+    (fun combo -> Alcotest.(check int) "singleton combos" 1 (List.length combo))
+    outcome.E.combos
+
+let combos_are_convex () =
+  let oracles, _ = shared_row_blocks 8 4.0 in
+  let outcome =
+    E.solve ~round:false { E.default_params with E.max_passes = 40 }
+      ~capacities:[| 4.0 |] ~oracles
+  in
+  Array.iter
+    (fun combo ->
+      let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 combo in
+      Alcotest.(check bool) "weights in (0,1]" true
+        (List.for_all (fun (_, w) -> w > 0.0 && w <= 1.0 +. 1e-9) combo);
+      check_float 1e-6 "weights sum to 1" 1.0 total)
+    outcome.E.combos
+
+let row_usage_consistent () =
+  let oracles, _ = shared_row_blocks 5 3.0 in
+  let outcome =
+    E.solve ~round:false { E.default_params with E.max_passes = 30 }
+      ~capacities:[| 3.0 |] ~oracles
+  in
+  (* Recompute usage from combos and compare with the reported vector. *)
+  let usage = Array.make 1 0.0 in
+  Array.iter
+    (fun combo ->
+      List.iter (fun ((p : _ E.point), w) -> Sp.add_into usage w p.E.usage) combo)
+    outcome.E.combos;
+  check_float 1e-6 "aggregate usage" usage.(0) outcome.E.row_usage.(0)
+
+let validation () =
+  let oracles, _ = shared_row_blocks 2 1.0 in
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Engine: capacities must be positive") (fun () ->
+      ignore (E.solve E.default_params ~capacities:[| 0.0 |] ~oracles));
+  Alcotest.check_raises "no blocks" (Invalid_argument "Engine: no blocks") (fun () ->
+      ignore
+        (E.solve E.default_params ~capacities:[| 1.0 |]
+           ~oracles:([||] : unit E.oracle array)))
+
+(* Randomized: K blocks, two points each with random costs/usages, vs
+   simplex on the equivalent LP. *)
+let prop_engine_vs_simplex =
+  QCheck.Test.make ~name:"engine tracks simplex on random 2-point block LPs" ~count:12
+    QCheck.small_int
+    (fun seed ->
+      let rng = Vod_util.Rng.create (500 + seed) in
+      let k = 3 + Vod_util.Rng.int rng 5 in
+      let heavy = Array.init k (fun _ -> 0.5 +. Vod_util.Rng.float rng) in
+      let light = Array.init k (fun _ -> 0.1 +. (0.2 *. Vod_util.Rng.float rng)) in
+      let cheap = Array.init k (fun _ -> 1.0 +. Vod_util.Rng.float rng) in
+      let dear = Array.init k (fun i -> cheap.(i) +. 1.0 +. (2.0 *. Vod_util.Rng.float rng)) in
+      let cap = 0.75 *. Array.fold_left ( +. ) 0.0 heavy in
+      let mk i =
+        let pa = { E.obj = cheap.(i); usage = Sp.of_assoc [ (0, heavy.(i)) ]; data = 0 } in
+        let pb = { E.obj = dear.(i); usage = Sp.of_assoc [ (0, light.(i)) ]; data = 1 } in
+        let priced ~obj_price ~row_price (p : int E.point) =
+          (obj_price *. p.E.obj) +. Sp.dot row_price p.E.usage
+        in
+        let optimize ~obj_price ~row_price =
+          if priced ~obj_price ~row_price pa <= priced ~obj_price ~row_price pb
+          then pa
+          else pb
+        in
+        {
+          E.optimize;
+          optimize_strong = optimize;
+          lower_bound =
+            (fun ~row_price ->
+              Float.min
+                (priced ~obj_price:1.0 ~row_price pa)
+                (priced ~obj_price:1.0 ~row_price pb));
+          initial = (fun () -> pa);
+        }
+      in
+      let oracles = Array.init k mk in
+      (* LP in terms of t_i = weight on light point. *)
+      let lp =
+        {
+          S.n_vars = k;
+          minimize = Array.init k (fun i -> dear.(i) -. cheap.(i));
+          constraints =
+            ({
+               S.row = List.init k (fun i -> (i, light.(i) -. heavy.(i)));
+               rel = S.Le;
+               rhs = cap -. Array.fold_left ( +. ) 0.0 heavy;
+             }
+            :: List.init k (fun i -> { S.row = [ (i, 1.0) ]; rel = S.Le; rhs = 1.0 }));
+        }
+      in
+      match S.solve lp with
+      | S.Optimal { objective; _ } ->
+          let lp_opt = objective +. Array.fold_left ( +. ) 0.0 cheap in
+          let outcome =
+            E.solve ~round:false
+              { E.default_params with E.max_passes = 150; seed }
+              ~capacities:[| cap |] ~oracles
+          in
+          outcome.E.max_violation <= 0.05
+          && outcome.E.lower_bound <= lp_opt +. 1e-6
+          && outcome.E.objective <= (lp_opt *. 1.15) +. 0.05
+      | S.Infeasible | S.Unbounded -> false)
+
+let suite =
+  [
+    Alcotest.test_case "sparse ops" `Quick sparse_ops;
+    Alcotest.test_case "safe_exp" `Quick safe_exp_props;
+    Alcotest.test_case "single block LP" `Quick single_block_lp;
+    Alcotest.test_case "multi block vs simplex" `Quick multi_block_vs_simplex;
+    Alcotest.test_case "feasibility mode" `Quick feasibility_mode;
+    Alcotest.test_case "history recorded" `Quick history_recorded;
+    Alcotest.test_case "rounding integrality" `Quick rounding_integrality;
+    Alcotest.test_case "combos convex" `Quick combos_are_convex;
+    Alcotest.test_case "row usage consistent" `Quick row_usage_consistent;
+    Alcotest.test_case "validation" `Quick validation;
+    QCheck_alcotest.to_alcotest prop_engine_vs_simplex;
+  ]

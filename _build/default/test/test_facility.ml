@@ -1,0 +1,156 @@
+(* Tests for the UFL block solvers: heuristics vs exact enumeration, and
+   validity of the dual-ascent lower bound (the linchpin of the engine's
+   honest optimality gaps). *)
+
+module U = Vod_facility.Ufl
+
+let random_instance rng ~n_fac ~n_cli =
+  let open_cost = Array.init n_fac (fun _ -> Vod_util.Rng.float rng *. 5.0) in
+  let service =
+    Array.init n_cli (fun _ -> Array.init n_fac (fun _ -> Vod_util.Rng.float rng *. 10.0))
+  in
+  { U.open_cost; service }
+
+let hand_instance () =
+  (* 2 facilities, 2 clients; opening both is optimal:
+     open costs 1, 1; service: c0: [0, 10], c1: [10, 0].
+     best = open both: 1+1+0+0 = 2. *)
+  {
+    U.open_cost = [| 1.0; 1.0 |];
+    service = [| [| 0.0; 10.0 |]; [| 10.0; 0.0 |] |];
+  }
+
+let exact_hand () =
+  let sol = U.exact (hand_instance ()) in
+  Alcotest.(check (float 1e-9)) "optimal cost" 2.0 sol.U.cost;
+  Alcotest.(check bool) "both open" true (sol.U.open_set.(0) && sol.U.open_set.(1))
+
+let single_facility_case () =
+  (* Expensive opens force a single facility. *)
+  let t =
+    {
+      U.open_cost = [| 100.0; 100.0 |];
+      service = [| [| 1.0; 2.0 |]; [| 3.0; 1.0 |] |];
+    }
+  in
+  let sol = U.exact t in
+  Alcotest.(check (float 1e-9)) "one open" 103.0 sol.U.cost
+
+let no_clients () =
+  (* A video nobody requested still needs one copy: cheapest open. *)
+  let t = { U.open_cost = [| 3.0; 1.0; 2.0 |]; service = [||] } in
+  let g = U.greedy t in
+  Alcotest.(check (float 1e-9)) "cheapest facility" 1.0 g.U.cost;
+  Alcotest.(check bool) "facility 1" true g.U.open_set.(1)
+
+let eval_open_requires_open () =
+  let t = hand_instance () in
+  Alcotest.check_raises "no open facility"
+    (Invalid_argument "Ufl.eval_open: no open facility") (fun () ->
+      ignore (U.eval_open t [| false; false |]))
+
+let validation () =
+  Alcotest.check_raises "negative open" (Invalid_argument "Ufl: bad opening cost")
+    (fun () -> U.validate { U.open_cost = [| -1.0 |]; service = [||] });
+  Alcotest.check_raises "ragged" (Invalid_argument "Ufl: service row arity")
+    (fun () -> U.validate { U.open_cost = [| 1.0; 2.0 |]; service = [| [| 1.0 |] |] })
+
+let greedy_vs_exact_gap () =
+  let rng = Vod_util.Rng.create 17 in
+  let worst = ref 1.0 in
+  for _ = 1 to 40 do
+    let t = random_instance rng ~n_fac:6 ~n_cli:8 in
+    let e = U.exact t and g = U.greedy t in
+    Alcotest.(check bool) "greedy >= exact" true (g.U.cost >= e.U.cost -. 1e-9);
+    let ratio = g.U.cost /. Float.max e.U.cost 1e-9 in
+    if ratio > !worst then worst := ratio
+  done;
+  (* Greedy should be within 2x on these small random instances. *)
+  Alcotest.(check bool) "greedy not terrible" true (!worst < 2.0)
+
+let local_search_improves () =
+  let rng = Vod_util.Rng.create 23 in
+  for _ = 1 to 40 do
+    let t = random_instance rng ~n_fac:6 ~n_cli:8 in
+    let e = U.exact t and g = U.greedy t and ls = U.local_search t in
+    Alcotest.(check bool) "ls <= greedy" true (ls.U.cost <= g.U.cost +. 1e-9);
+    Alcotest.(check bool) "ls >= exact" true (ls.U.cost >= e.U.cost -. 1e-9)
+  done
+
+let assignment_is_cheapest_open () =
+  let rng = Vod_util.Rng.create 31 in
+  let t = random_instance rng ~n_fac:8 ~n_cli:10 in
+  let sol = U.local_search t in
+  Array.iteri
+    (fun j assigned ->
+      Alcotest.(check bool) "assigned facility open" true sol.U.open_set.(assigned);
+      Array.iteri
+        (fun i is_open ->
+          if is_open then
+            Alcotest.(check bool) "no cheaper open facility" true
+              (t.U.service.(j).(i) >= t.U.service.(j).(assigned) -. 1e-9))
+        sol.U.open_set)
+    sol.U.assign
+
+(* The keystone property: dual ascent <= exact optimum (bound validity),
+   checked exhaustively against enumeration. *)
+let prop_dual_bound_valid =
+  QCheck.Test.make ~name:"dual ascent lower-bounds the exact UFL optimum" ~count:120
+    QCheck.(pair small_int small_int)
+    (fun (seed, shape) ->
+      let rng = Vod_util.Rng.create (1000 + seed + (shape * 7919)) in
+      let n_fac = 2 + (shape mod 6) and n_cli = 1 + (seed mod 8) in
+      let t = random_instance rng ~n_fac ~n_cli in
+      let bound, v = U.dual_ascent t in
+      let e = U.exact t in
+      (* Validity, plus explicit dual feasibility of v. *)
+      let feasible =
+        Array.for_all
+          (fun _ -> true)
+          v
+        &&
+        let ok = ref true in
+        for i = 0 to n_fac - 1 do
+          let load = ref 0.0 in
+          Array.iteri
+            (fun j vj -> load := !load +. Float.max 0.0 (vj -. t.U.service.(j).(i)))
+            v;
+          if !load > t.U.open_cost.(i) +. 1e-6 then ok := false
+        done;
+        !ok
+      in
+      feasible && bound <= e.U.cost +. 1e-6)
+
+let dual_bound_reasonably_tight () =
+  let rng = Vod_util.Rng.create 41 in
+  let ratios = ref [] in
+  for _ = 1 to 40 do
+    let t = random_instance rng ~n_fac:5 ~n_cli:8 in
+    let bound, _ = U.dual_ascent t in
+    let e = U.exact t in
+    ratios := (bound /. Float.max e.U.cost 1e-9) :: !ratios
+  done;
+  let avg = List.fold_left ( +. ) 0.0 !ratios /. float_of_int (List.length !ratios) in
+  (* Erlenkotter ascent is typically within ~15% on random instances. *)
+  Alcotest.(check bool) "average tightness > 0.7" true (avg > 0.7)
+
+let exact_rejects_large () =
+  let t = { U.open_cost = Array.make 21 1.0; service = [||] } in
+  Alcotest.check_raises "too many facilities"
+    (Invalid_argument "Ufl.exact: too many facilities (max 20)") (fun () ->
+      ignore (U.exact t))
+
+let suite =
+  [
+    Alcotest.test_case "exact hand instance" `Quick exact_hand;
+    Alcotest.test_case "single facility" `Quick single_facility_case;
+    Alcotest.test_case "no clients" `Quick no_clients;
+    Alcotest.test_case "eval_open guard" `Quick eval_open_requires_open;
+    Alcotest.test_case "validation" `Quick validation;
+    Alcotest.test_case "greedy vs exact" `Quick greedy_vs_exact_gap;
+    Alcotest.test_case "local search improves" `Quick local_search_improves;
+    Alcotest.test_case "assignment cheapest-open" `Quick assignment_is_cheapest_open;
+    Alcotest.test_case "dual bound tightness" `Quick dual_bound_reasonably_tight;
+    Alcotest.test_case "exact size guard" `Quick exact_rejects_large;
+    QCheck_alcotest.to_alcotest prop_dual_bound_valid;
+  ]

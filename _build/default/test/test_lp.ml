@@ -1,0 +1,183 @@
+(* Tests for the simplex reference solver: known LPs, degenerate cases,
+   and randomized comparison against brute-force vertex enumeration on
+   2-variable instances. *)
+
+module S = Vod_lp.Simplex
+
+let solve_opt p =
+  match S.solve p with
+  | S.Optimal { objective; solution } -> (objective, solution)
+  | S.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let check_obj = Alcotest.(check (float 1e-6))
+
+let basic_le () =
+  (* min -x - y  s.t. x + y <= 4, x <= 2 -> x=2, y=2, obj=-4 *)
+  let p =
+    {
+      S.n_vars = 2;
+      minimize = [| -1.0; -1.0 |];
+      constraints =
+        [
+          { S.row = [ (0, 1.0); (1, 1.0) ]; rel = S.Le; rhs = 4.0 };
+          { S.row = [ (0, 1.0) ]; rel = S.Le; rhs = 2.0 };
+        ];
+    }
+  in
+  let obj, sol = solve_opt p in
+  check_obj "objective" (-4.0) obj;
+  check_obj "x" 2.0 sol.(0);
+  check_obj "y" 2.0 sol.(1)
+
+let with_equality () =
+  (* min x + 2y  s.t. x + y = 3, y >= 1 -> x=2, y=1, obj=4 *)
+  let p =
+    {
+      S.n_vars = 2;
+      minimize = [| 1.0; 2.0 |];
+      constraints =
+        [
+          { S.row = [ (0, 1.0); (1, 1.0) ]; rel = S.Eq; rhs = 3.0 };
+          { S.row = [ (1, 1.0) ]; rel = S.Ge; rhs = 1.0 };
+        ];
+    }
+  in
+  let obj, sol = solve_opt p in
+  check_obj "objective" 4.0 obj;
+  check_obj "x" 2.0 sol.(0);
+  check_obj "y" 1.0 sol.(1)
+
+let infeasible_detected () =
+  let p =
+    {
+      S.n_vars = 1;
+      minimize = [| 1.0 |];
+      constraints =
+        [
+          { S.row = [ (0, 1.0) ]; rel = S.Le; rhs = 1.0 };
+          { S.row = [ (0, 1.0) ]; rel = S.Ge; rhs = 2.0 };
+        ];
+    }
+  in
+  match S.solve p with
+  | S.Infeasible -> ()
+  | S.Optimal _ | S.Unbounded -> Alcotest.fail "expected infeasible"
+
+let unbounded_detected () =
+  let p =
+    {
+      S.n_vars = 1;
+      minimize = [| -1.0 |];
+      constraints = [ { S.row = [ (0, 1.0) ]; rel = S.Ge; rhs = 0.0 } ];
+    }
+  in
+  match S.solve p with
+  | S.Unbounded -> ()
+  | S.Optimal _ | S.Infeasible -> Alcotest.fail "expected unbounded"
+
+let negative_rhs_normalized () =
+  (* min x s.t. -x <= -3  (i.e. x >= 3) *)
+  let p =
+    {
+      S.n_vars = 1;
+      minimize = [| 1.0 |];
+      constraints = [ { S.row = [ (0, -1.0) ]; rel = S.Le; rhs = -3.0 } ];
+    }
+  in
+  let obj, _ = solve_opt p in
+  check_obj "x = 3" 3.0 obj
+
+let degenerate_no_cycle () =
+  (* A classically degenerate instance; must terminate (Bland). *)
+  let p =
+    {
+      S.n_vars = 3;
+      minimize = [| -0.75; 150.0; -0.02 |];
+      constraints =
+        [
+          { S.row = [ (0, 0.25); (1, -60.0); (2, -0.04) ]; rel = S.Le; rhs = 0.0 };
+          { S.row = [ (0, 0.5); (1, -90.0); (2, -0.02) ]; rel = S.Le; rhs = 0.0 };
+          { S.row = [ (2, 1.0) ]; rel = S.Le; rhs = 1.0 };
+        ];
+    }
+  in
+  let obj, _ = solve_opt p in
+  Alcotest.(check bool) "finite optimum" true (Float.is_finite obj)
+
+let duality_transport () =
+  (* Tiny transportation problem; optimal value known by inspection.
+     min 1*x00 + 3*x01 + 2*x10 + 1*x11
+     s.t. x00+x01 = 1 ; x10+x11 = 1 ; x00+x10 <= 1 ; x01+x11 <= 1 *)
+  let p =
+    {
+      S.n_vars = 4;
+      minimize = [| 1.0; 3.0; 2.0; 1.0 |];
+      constraints =
+        [
+          { S.row = [ (0, 1.0); (1, 1.0) ]; rel = S.Eq; rhs = 1.0 };
+          { S.row = [ (2, 1.0); (3, 1.0) ]; rel = S.Eq; rhs = 1.0 };
+          { S.row = [ (0, 1.0); (2, 1.0) ]; rel = S.Le; rhs = 1.0 };
+          { S.row = [ (1, 1.0); (3, 1.0) ]; rel = S.Le; rhs = 1.0 };
+        ];
+    }
+  in
+  let obj, _ = solve_opt p in
+  check_obj "assignment optimum" 2.0 obj
+
+(* Random 2-variable LPs, checked against a fine grid scan of the feasible
+   region (sound because optima of bounded LPs lie near vertices and the
+   grid bound is only used as a one-sided sanity margin). *)
+let prop_random_2var =
+  QCheck.Test.make ~name:"simplex beats grid scan on random 2-var LPs" ~count:60
+    QCheck.(
+      quad (float_range 0.1 5.0) (float_range 0.1 5.0) (float_range 1.0 10.0)
+        (float_range 1.0 10.0))
+    (fun (c1, c2, b1, b2) ->
+      let p =
+        {
+          S.n_vars = 2;
+          minimize = [| -.c1; -.c2 |];
+          constraints =
+            [
+              { S.row = [ (0, 1.0); (1, 2.0) ]; rel = S.Le; rhs = b1 };
+              { S.row = [ (0, 2.0); (1, 1.0) ]; rel = S.Le; rhs = b2 };
+            ];
+        }
+      in
+      match S.solve p with
+      | S.Optimal { objective; solution } ->
+          (* Feasibility of the returned point. *)
+          let x = solution.(0) and y = solution.(1) in
+          let feas =
+            x >= -1e-9 && y >= -1e-9
+            && x +. (2.0 *. y) <= b1 +. 1e-6
+            && (2.0 *. x) +. y <= b2 +. 1e-6
+          in
+          (* Grid scan lower bound on the best objective. *)
+          let best = ref 0.0 in
+          let steps = 60 in
+          for i = 0 to steps do
+            for j = 0 to steps do
+              let gx = float_of_int i *. b2 /. (2.0 *. float_of_int steps) in
+              let gy = float_of_int j *. b1 /. (2.0 *. float_of_int steps) in
+              if gx +. (2.0 *. gy) <= b1 && (2.0 *. gx) +. gy <= b2 then begin
+                let v = (-.c1 *. gx) -. (c2 *. gy) in
+                if v < !best then best := v
+              end
+            done
+          done;
+          feas && objective <= !best +. 1e-6
+      | S.Infeasible | S.Unbounded -> false)
+
+let suite =
+  [
+    Alcotest.test_case "basic <=" `Quick basic_le;
+    Alcotest.test_case "equality + >=" `Quick with_equality;
+    Alcotest.test_case "infeasible" `Quick infeasible_detected;
+    Alcotest.test_case "unbounded" `Quick unbounded_detected;
+    Alcotest.test_case "negative rhs" `Quick negative_rhs_normalized;
+    Alcotest.test_case "degenerate (Bland)" `Quick degenerate_no_cycle;
+    Alcotest.test_case "transport duality" `Quick duality_transport;
+    QCheck_alcotest.to_alcotest prop_random_2var;
+  ]

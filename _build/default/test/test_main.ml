@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "vodopt"
+    [
+      ("util", Test_util.suite);
+      ("topology", Test_topology.suite);
+      ("workload", Test_workload.suite);
+      ("workload2", Test_workload2.suite);
+      ("lp", Test_lp.suite);
+      ("facility", Test_facility.suite);
+      ("epf", Test_epf.suite);
+      ("placement", Test_placement.suite);
+      ("cache", Test_cache.suite);
+      ("cache2", Test_cache2.suite);
+      ("sim", Test_sim.suite);
+      ("core", Test_core.suite);
+      ("properties", Test_props.suite);
+      ("edge", Test_edge.suite);
+      ("chunking+lrfu", Test_chunking.suite);
+      ("io", Test_io.suite);
+      ("window-refine", Test_refine.suite);
+    ]

@@ -1,0 +1,367 @@
+(* Tests for the placement layer: instance construction, block assembly,
+   the end-to-end solve on tiny instances cross-checked against the full
+   LP solved by simplex, rounding integrality, feasibility probing and
+   migration accounting. *)
+
+module I = Vod_placement.Instance
+module B = Vod_placement.Blocks
+module Sol = Vod_placement.Solution
+module Solve = Vod_placement.Solve
+module F = Vod_placement.Feasibility
+module G = Vod_topology.Graph
+
+(* A tiny deterministic world: 4 VHOs on a ring, 8 videos, 7 days. *)
+let tiny_graph () =
+  G.create ~name:"ring4" ~n:4
+    ~edges:[ (0, 1); (1, 2); (2, 3); (3, 0) ]
+    ~populations:[| 4.0; 3.0; 2.0; 1.0 |]
+
+let tiny_world ?(n_videos = 8) ?(requests = 600.0) () =
+  let graph = tiny_graph () in
+  let catalog =
+    Vod_workload.Catalog.generate
+      (Vod_workload.Catalog.default_params ~n:n_videos ~days:7 ~seed:11)
+  in
+  let trace =
+    Vod_workload.Tracegen.generate
+      (Vod_workload.Tracegen.default_params ~catalog
+         ~populations:graph.G.populations ~mean_daily_requests:requests ~seed:12)
+  in
+  let demand =
+    Vod_workload.Demand.of_requests catalog ~n_vhos:4 ~day0:0 ~days:7 ~n_windows:2
+      ~window_s:3600.0 trace.Vod_workload.Trace.requests
+  in
+  (graph, catalog, demand)
+
+let tiny_instance ?(disk_mult = 2.0) ?(link = 200.0) () =
+  let graph, catalog, demand = tiny_world () in
+  let total = Vod_workload.Catalog.total_size_gb catalog in
+  I.create ~graph ~catalog ~demand
+    ~disk_gb:(I.uniform_disk ~total_gb:(disk_mult *. total) 4)
+    ~link_capacity_mbps:(I.uniform_links graph link)
+    ()
+
+let row_layout () =
+  let inst = tiny_instance () in
+  Alcotest.(check int) "vhos" 4 (I.n_vhos inst);
+  Alcotest.(check int) "links" 8 (I.n_links inst);
+  Alcotest.(check int) "windows" 2 (I.n_windows inst);
+  Alcotest.(check int) "rows" (4 + (2 * 8)) (I.n_rows inst);
+  Alcotest.(check int) "disk row" 2 (I.disk_row inst 2);
+  Alcotest.(check int) "link row" (4 + 8 + 3) (I.link_row inst ~window:1 ~link:3);
+  let caps = I.capacities inst in
+  Alcotest.(check int) "caps arity" (I.n_rows inst) (Array.length caps);
+  Array.iter (fun c -> Alcotest.(check bool) "caps positive" true (c > 0.0)) caps
+
+let cost_affine_in_hops () =
+  let inst = tiny_instance () in
+  Alcotest.(check (float 1e-9)) "local cost = beta" inst.I.beta_cost
+    (I.cost inst ~src:0 ~dst:0);
+  Alcotest.(check (float 1e-9)) "one hop"
+    (inst.I.alpha_cost +. inst.I.beta_cost)
+    (I.cost inst ~src:0 ~dst:1)
+
+let instance_validation () =
+  let graph, catalog, demand = tiny_world () in
+  Alcotest.check_raises "bad disk arity" (Invalid_argument "Instance.create: disk_gb arity")
+    (fun () ->
+      ignore
+        (I.create ~graph ~catalog ~demand ~disk_gb:[| 1.0 |]
+           ~link_capacity_mbps:(I.uniform_links graph 100.0)
+           ()))
+
+let blocks_cover_demand () =
+  let inst = tiny_instance () in
+  let blocks = B.build_blocks inst in
+  Alcotest.(check int) "one block per video" 8 (Array.length blocks);
+  Array.iteri
+    (fun video (b : B.block) ->
+      Alcotest.(check int) "video id" video b.B.video;
+      (* Every demand pair appears among the block's clients. *)
+      Array.iter
+        (fun (vho, a) ->
+          let c = Array.to_list b.B.clients |> List.find (fun c -> c.B.vho = vho) in
+          Alcotest.(check (float 1e-9)) "a matches" a c.B.a)
+        inst.I.demand.Vod_workload.Demand.a.(video))
+    blocks
+
+let block_point_consistency () =
+  let inst = tiny_instance () in
+  let blocks = B.build_blocks inst in
+  let zero = Array.make (I.n_rows inst) 0.0 in
+  Array.iter
+    (fun (b : B.block) ->
+      let ufl = B.ufl_of_block inst b ~obj_price:1.0 ~row_price:zero in
+      let sol = Vod_facility.Ufl.greedy ufl in
+      let pt = B.point_of_solution inst b sol in
+      (* Disk usage of the point = copies * size on the right rows. *)
+      let n_open =
+        Array.fold_left (fun acc o -> if o then acc + 1 else acc) 0
+          sol.Vod_facility.Ufl.open_set
+      in
+      let disk_usage = ref 0.0 in
+      Vod_epf.Sparse.iter
+        (fun row v -> if row < 4 then disk_usage := !disk_usage +. v)
+        pt.Vod_epf.Engine.usage;
+      Alcotest.(check (float 1e-9)) "disk usage"
+        (float_of_int n_open *. b.B.size_gb)
+        !disk_usage;
+      (* With zero prices the point's priced objective equals its obj. *)
+      Alcotest.(check bool) "objective nonnegative" true (pt.Vod_epf.Engine.obj >= 0.0))
+    blocks
+
+let warm_prices_shape () =
+  let inst = tiny_instance () in
+  let prices = B.warm_disk_prices inst in
+  Alcotest.(check int) "one per vho" 4 (Array.length prices);
+  Array.iter (fun p -> Alcotest.(check bool) "nonnegative" true (p >= 0.0)) prices
+
+(* The central cross-check: EPF lower bound <= simplex LP optimum, and the
+   rounded MIP objective is close to the LP optimum. *)
+let solve_vs_simplex () =
+  let inst = tiny_instance ~disk_mult:2.0 ~link:200.0 () in
+  let lp_opt =
+    match Vod_placement.Lp_check.solve_reference inst with
+    | Vod_lp.Simplex.Optimal { objective; _ } -> objective
+    | Vod_lp.Simplex.Infeasible -> Alcotest.fail "reference LP infeasible"
+    | Vod_lp.Simplex.Unbounded -> Alcotest.fail "reference LP unbounded"
+  in
+  let params = { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = 120 } in
+  let report = Solve.solve ~params inst in
+  let sol = report.Solve.solution in
+  Alcotest.(check bool)
+    (Printf.sprintf "LB valid (%.2f <= %.2f)" sol.Sol.lower_bound lp_opt)
+    true
+    (sol.Sol.lower_bound <= lp_opt +. 1e-6);
+  Alcotest.(check bool)
+    (Printf.sprintf "fractional obj sane (%.2f vs LP %.2f)" report.Solve.lp_objective lp_opt)
+    true
+    (report.Solve.lp_objective >= lp_opt *. (1.0 -. report.Solve.lp_violation -. 0.05));
+  Alcotest.(check bool)
+    (Printf.sprintf "MIP obj >= LP opt - slack (%.2f vs %.2f)" sol.Sol.objective lp_opt)
+    true
+    (sol.Sol.objective >= lp_opt *. 0.90);
+  Alcotest.(check bool) "violation moderate" true (sol.Sol.max_violation <= 0.6)
+
+let solution_invariants () =
+  let inst = tiny_instance () in
+  let report = Solve.solve inst in
+  let sol = report.Solve.solution in
+  Alcotest.(check int) "all videos placed" 8 sol.Sol.n_videos;
+  for video = 0 to 7 do
+    Alcotest.(check bool) "at least one copy" true (Sol.copies sol video >= 1);
+    (* Server resolves for every vho, and stores the video. *)
+    for vho = 0 to 3 do
+      let s = Sol.server sol inst.I.paths ~video ~vho in
+      Alcotest.(check bool) "server stores video" true (Sol.stores sol ~video ~vho:s)
+    done
+  done;
+  (* Disk accounting matches stored sets. *)
+  let used = Sol.disk_used sol inst.I.catalog in
+  let total_stored =
+    Array.fold_left (fun acc vhos -> acc + Array.length vhos) 0 sol.Sol.stored
+  in
+  Alcotest.(check bool) "some replication" true (total_stored >= 8);
+  Array.iteri
+    (fun i u ->
+      Alcotest.(check bool) "disk within violated cap" true
+        (u <= inst.I.disk_gb.(i) *. (1.0 +. sol.Sol.max_violation +. 1e-6)))
+    used
+
+let migration_accounting () =
+  let inst = tiny_instance () in
+  let r1 = Solve.solve ~params:{ Vod_epf.Engine.default_params with Vod_epf.Engine.seed = 1 } inst in
+  let r2 = Solve.solve ~params:{ Vod_epf.Engine.default_params with Vod_epf.Engine.seed = 99 } inst in
+  let s1 = r1.Solve.solution and s2 = r2.Solve.solution in
+  let t_self, gb_self = Sol.migration ~old_sol:s1 ~new_sol:s1 inst.I.catalog in
+  Alcotest.(check int) "self migration empty" 0 t_self;
+  Alcotest.(check (float 1e-9)) "self migration zero GB" 0.0 gb_self;
+  let t12, gb12 = Sol.migration ~old_sol:s1 ~new_sol:s2 inst.I.catalog in
+  Alcotest.(check bool) "nonnegative" true (t12 >= 0 && gb12 >= 0.0)
+
+let feasibility_monotone () =
+  let graph, catalog, demand = tiny_world () in
+  let total = Vod_workload.Catalog.total_size_gb catalog in
+  let probe mult link =
+    let inst =
+      I.create ~graph ~catalog ~demand
+        ~disk_gb:(I.uniform_disk ~total_gb:(mult *. total) 4)
+        ~link_capacity_mbps:(I.uniform_links graph link)
+        ()
+    in
+    F.feasible inst
+  in
+  (* Plenty of disk and bandwidth: feasible. *)
+  Alcotest.(check bool) "ample resources feasible" true (probe 4.0 2000.0);
+  (* Disk below one copy of the library cannot be feasible. *)
+  Alcotest.(check bool) "sub-library disk infeasible" false (probe 0.5 2000.0)
+
+let binary_search_behaviour () =
+  let calls = ref [] in
+  let feasible_at x =
+    calls := x :: !calls;
+    x >= 3.0
+  in
+  (match F.binary_search_min ~lo:1.0 ~hi:8.0 ~tol:0.02 ~feasible_at with
+  | Some v -> Alcotest.(check bool) "finds threshold" true (Float.abs (v -. 3.0) < 0.25)
+  | None -> Alcotest.fail "expected feasible hi");
+  (match F.binary_search_min ~lo:1.0 ~hi:2.0 ~tol:0.02 ~feasible_at:(fun _ -> false) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None");
+  match F.binary_search_min ~lo:5.0 ~hi:8.0 ~tol:0.02 ~feasible_at with
+  | Some v -> Alcotest.(check (float 1e-9)) "lo already feasible" 5.0 v
+  | None -> Alcotest.fail "expected feasible lo"
+
+(* End-to-end cross-check over random instances: the engine's Lagrangian
+   bound must never exceed the simplex LP optimum, and the fractional
+   objective must not beat it either (modulo the allowed epsilon
+   violation). This is the strongest soundness property in the suite. *)
+let prop_bound_vs_simplex =
+  QCheck.Test.make ~name:"engine bound below simplex LP optimum on random instances"
+    ~count:5
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let graph = tiny_graph () in
+      let catalog =
+        Vod_workload.Catalog.generate
+          (Vod_workload.Catalog.default_params ~n:6 ~days:7 ~seed)
+      in
+      let trace =
+        Vod_workload.Tracegen.generate
+          (Vod_workload.Tracegen.default_params ~catalog
+             ~populations:graph.G.populations ~mean_daily_requests:400.0
+             ~seed:(seed + 1))
+      in
+      let demand =
+        Vod_workload.Demand.of_requests catalog ~n_vhos:4 ~day0:0 ~days:7
+          ~n_windows:2 ~window_s:3600.0 trace.Vod_workload.Trace.requests
+      in
+      let total = Vod_workload.Catalog.total_size_gb catalog in
+      let inst =
+        I.create ~graph ~catalog ~demand
+          ~disk_gb:(I.uniform_disk ~total_gb:(2.5 *. total) 4)
+          ~link_capacity_mbps:(I.uniform_links graph 400.0)
+          ()
+      in
+      match Vod_placement.Lp_check.solve_reference inst with
+      | Vod_lp.Simplex.Optimal { objective = lp_opt; _ } ->
+          let params =
+            { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = 40; seed }
+          in
+          let report = Solve.solve ~params inst in
+          let sol = report.Solve.solution in
+          sol.Sol.lower_bound <= lp_opt +. 1e-6
+          && report.Solve.lp_objective
+             >= lp_opt *. (1.0 -. report.Solve.lp_violation -. 0.05)
+      | Vod_lp.Simplex.Infeasible | Vod_lp.Simplex.Unbounded -> false)
+
+let lp_check_structure () =
+  let inst = tiny_instance () in
+  let lp = Vod_placement.Lp_check.build inst in
+  Alcotest.(check int) "variable count" (8 * (4 + 16)) lp.Vod_lp.Simplex.n_vars;
+  (* Variable indexing round-trips. *)
+  Alcotest.(check int) "y index"
+    (Vod_placement.Lp_check.y_var ~n:4 ~video:0 3)
+    3;
+  Alcotest.(check int) "x index"
+    (Vod_placement.Lp_check.x_var ~n:4 ~video:1 ~server:2 ~client:3)
+    ((1 * 20) + 4 + (2 * 4) + 3)
+
+(* Proposition 5.1: the optimal LP *value* decomposes as
+   alpha * T + beta * C where T (hop-weighted transfer) and C (constant
+   demand mass) are invariant to alpha, beta — so the optimizer set is
+   unchanged. Verified with two exact LP solves at different (alpha,
+   beta). *)
+let proposition_5_1 () =
+  let graph, catalog, demand = tiny_world ~n_videos:6 () in
+  let total = Vod_workload.Catalog.total_size_gb catalog in
+  let solve_lp ~alpha_cost ~beta_cost =
+    let inst =
+      I.create ~alpha_cost ~beta_cost ~graph ~catalog ~demand
+        ~disk_gb:(I.uniform_disk ~total_gb:(2.0 *. total) 4)
+        ~link_capacity_mbps:(I.uniform_links graph 300.0)
+        ()
+    in
+    match Vod_placement.Lp_check.solve_reference inst with
+    | Vod_lp.Simplex.Optimal { objective; _ } -> objective
+    | _ -> Alcotest.fail "LP not optimal"
+  in
+  (* Constant term C = sum over demand of size * count. *)
+  let c_mass = ref 0.0 in
+  Array.iteri
+    (fun video pairs ->
+      let s = Vod_workload.Video.size_gb (Vod_workload.Catalog.video catalog video) in
+      Array.iter (fun (_, a) -> c_mass := !c_mass +. (s *. a)) pairs)
+    demand.Vod_workload.Demand.a;
+  let o11 = solve_lp ~alpha_cost:1.0 ~beta_cost:1.0 in
+  let o25 = solve_lp ~alpha_cost:2.0 ~beta_cost:5.0 in
+  let t_from_11 = o11 -. !c_mass in
+  let predicted_25 = (2.0 *. t_from_11) +. (5.0 *. !c_mass) in
+  Alcotest.(check bool)
+    (Printf.sprintf "objective transforms affinely (%.2f vs %.2f)" predicted_25 o25)
+    true
+    (Float.abs (predicted_25 -. o25) <= 1e-4 *. Float.max 1.0 o25)
+
+(* The placement-transfer term (Eq. 11): a positive weight must not
+   increase the number of copies placed and adds origin-transfer cost. *)
+let placement_weight_discourages_copies () =
+  let graph, catalog, demand = tiny_world () in
+  let total = Vod_workload.Catalog.total_size_gb catalog in
+  let solve ~placement_weight =
+    let inst =
+      I.create ~placement_weight ~graph ~catalog ~demand
+        ~disk_gb:(I.uniform_disk ~total_gb:(3.0 *. total) 4)
+        ~link_capacity_mbps:(I.uniform_links graph 500.0)
+        ()
+    in
+    let report = Solve.solve inst in
+    let sol = report.Solve.solution in
+    Array.fold_left (fun acc vhos -> acc + Array.length vhos) 0 sol.Sol.stored
+  in
+  let copies_free = solve ~placement_weight:0.0 in
+  let copies_heavy = solve ~placement_weight:50.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "heavy placement cost -> fewer copies (%d vs %d)" copies_heavy
+       copies_free)
+    true
+    (copies_heavy <= copies_free)
+
+let fixed_order_also_solves () =
+  let inst = tiny_instance () in
+  let params =
+    { Vod_epf.Engine.default_params with Vod_epf.Engine.shuffle = false; max_passes = 80 }
+  in
+  let report = Solve.solve ~params inst in
+  Alcotest.(check bool) "still produces a placement" true
+    (report.Solve.solution.Sol.n_videos = 8)
+
+let cold_start_also_solves () =
+  let inst = tiny_instance () in
+  let _, oracles = B.oracles ~warm_start:false inst in
+  let outcome =
+    Vod_epf.Engine.solve Vod_epf.Engine.default_params
+      ~capacities:(I.capacities inst) ~oracles
+  in
+  Alcotest.(check bool) "epsilon-ish feasible" true
+    (outcome.Vod_epf.Engine.max_violation < 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "row layout" `Quick row_layout;
+    Alcotest.test_case "proposition 5.1" `Slow proposition_5_1;
+    Alcotest.test_case "placement weight" `Slow placement_weight_discourages_copies;
+    Alcotest.test_case "fixed order solves" `Quick fixed_order_also_solves;
+    Alcotest.test_case "cold start solves" `Quick cold_start_also_solves;
+    Alcotest.test_case "cost affine in hops" `Quick cost_affine_in_hops;
+    Alcotest.test_case "instance validation" `Quick instance_validation;
+    Alcotest.test_case "blocks cover demand" `Quick blocks_cover_demand;
+    Alcotest.test_case "block point consistency" `Quick block_point_consistency;
+    Alcotest.test_case "warm prices shape" `Quick warm_prices_shape;
+    Alcotest.test_case "solve vs simplex" `Slow solve_vs_simplex;
+    Alcotest.test_case "solution invariants" `Quick solution_invariants;
+    Alcotest.test_case "migration accounting" `Quick migration_accounting;
+    Alcotest.test_case "feasibility monotone" `Slow feasibility_monotone;
+    Alcotest.test_case "binary search" `Quick binary_search_behaviour;
+    Alcotest.test_case "lp_check structure" `Quick lp_check_structure;
+    QCheck_alcotest.to_alcotest prop_bound_vs_simplex;
+  ]

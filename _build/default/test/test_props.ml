@@ -1,0 +1,189 @@
+(* Cross-module property tests (qcheck): topology generators, path
+   symmetry, simplex-vs-EPF agreement already live in their module suites;
+   this suite adds randomized structural properties that span modules. *)
+
+module G = Vod_topology.Graph
+module P = Vod_topology.Paths
+module T = Vod_topology.Topologies
+
+let prop_generated_graphs_connected =
+  QCheck.Test.make ~name:"ring_plus_chords graphs are connected with exact counts"
+    ~count:40
+    QCheck.(pair (int_range 4 40) (int_range 0 30))
+    (fun (n, extra) ->
+      let max_edges = n * (n - 1) / 2 in
+      let target = min max_edges (n + extra) in
+      let g = T.ring_plus_chords ~name:"p" ~n ~target_edges:target ~seed:(n + extra) in
+      G.is_connected g && G.n_links g = 2 * target)
+
+let prop_hops_symmetric =
+  QCheck.Test.make ~name:"hop counts are symmetric on undirected topologies"
+    ~count:15 QCheck.(int_range 5 30)
+    (fun n ->
+      let g = T.ring_plus_chords ~name:"s" ~n ~target_edges:(n + 4) ~seed:n in
+      let p = P.compute g in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if P.hops p ~src:i ~dst:j <> P.hops p ~src:j ~dst:i then ok := false
+        done
+      done;
+      !ok)
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"shortest-path hops satisfy the triangle inequality"
+    ~count:15 QCheck.(int_range 5 25)
+    (fun n ->
+      let g = T.ring_plus_chords ~name:"t" ~n ~target_edges:(n + 3) ~seed:(n * 3) in
+      let p = P.compute g in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            if P.hops p ~src:i ~dst:j > P.hops p ~src:i ~dst:k + P.hops p ~src:k ~dst:j
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_trace_deterministic =
+  QCheck.Test.make ~name:"trace generation is deterministic in the seed" ~count:8
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let catalog =
+        Vod_workload.Catalog.generate
+          (Vod_workload.Catalog.default_params ~n:80 ~days:7 ~seed)
+      in
+      let pops = T.zipf_populations ~seed 6 in
+      let mk () =
+        Vod_workload.Tracegen.generate
+          (Vod_workload.Tracegen.default_params ~catalog ~populations:pops
+             ~mean_daily_requests:200.0 ~seed)
+      in
+      let a = mk () and b = mk () in
+      Vod_workload.Trace.length a = Vod_workload.Trace.length b
+      && Array.for_all2
+           (fun (x : Vod_workload.Trace.request) (y : Vod_workload.Trace.request) ->
+             x.Vod_workload.Trace.time_s = y.Vod_workload.Trace.time_s
+             && x.Vod_workload.Trace.video = y.Vod_workload.Trace.video
+             && x.Vod_workload.Trace.vho = y.Vod_workload.Trace.vho)
+           a.Vod_workload.Trace.requests b.Vod_workload.Trace.requests)
+
+(* The engine's aggregate usage never undercounts: for random two-point
+   block systems, the outcome's row_usage must equal the sum over combos
+   within float tolerance (detects incremental-update drift). *)
+let prop_engine_usage_conserved =
+  QCheck.Test.make ~name:"engine row usage matches combo recomputation" ~count:10
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let module E = Vod_epf.Engine in
+      let module Sp = Vod_epf.Sparse in
+      let rng = Vod_util.Rng.create seed in
+      let k = 2 + Vod_util.Rng.int rng 6 in
+      let m = 1 + Vod_util.Rng.int rng 3 in
+      let mk _ =
+        let pa =
+          {
+            E.obj = 1.0 +. Vod_util.Rng.float rng;
+            usage = Sp.of_assoc [ (Vod_util.Rng.int rng m, 0.5 +. Vod_util.Rng.float rng) ];
+            data = ();
+          }
+        in
+        let pb =
+          {
+            E.obj = 2.0 +. Vod_util.Rng.float rng;
+            usage = Sp.of_assoc [ (Vod_util.Rng.int rng m, 0.1 +. (0.2 *. Vod_util.Rng.float rng)) ];
+            data = ();
+          }
+        in
+        let priced ~obj_price ~row_price (p : unit E.point) =
+          (obj_price *. p.E.obj) +. Sp.dot row_price p.E.usage
+        in
+        let optimize ~obj_price ~row_price =
+          if priced ~obj_price ~row_price pa <= priced ~obj_price ~row_price pb
+          then pa
+          else pb
+        in
+        {
+          E.optimize;
+          optimize_strong = optimize;
+          lower_bound =
+            (fun ~row_price ->
+              Float.min
+                (priced ~obj_price:1.0 ~row_price pa)
+                (priced ~obj_price:1.0 ~row_price pb));
+          initial = (fun () -> pa);
+        }
+      in
+      let oracles = Array.init k mk in
+      let capacities = Array.init m (fun _ -> 0.5 +. (2.0 *. Vod_util.Rng.float rng)) in
+      let outcome =
+        E.solve ~round:false
+          { E.default_params with E.max_passes = 25; seed }
+          ~capacities ~oracles
+      in
+      let usage = Array.make m 0.0 in
+      Array.iter
+        (fun combo ->
+          List.iter (fun ((p : unit E.point), w) -> Sp.add_into usage w p.E.usage) combo)
+        outcome.E.combos;
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        if Float.abs (usage.(i) -. outcome.E.row_usage.(i)) > 1e-6 then ok := false
+      done;
+      !ok)
+
+(* Solutions always place every video at least once, regardless of the
+   (random) demand pattern. *)
+let prop_every_video_placed =
+  QCheck.Test.make ~name:"every video gets at least one copy" ~count:6
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let graph =
+        G.create ~name:"sq" ~n:4
+          ~edges:[ (0, 1); (1, 2); (2, 3); (3, 0) ]
+          ~populations:[| 2.0; 1.0; 1.0; 1.0 |]
+      in
+      let catalog =
+        Vod_workload.Catalog.generate
+          (Vod_workload.Catalog.default_params ~n:12 ~days:7 ~seed)
+      in
+      let trace =
+        Vod_workload.Tracegen.generate
+          (Vod_workload.Tracegen.default_params ~catalog
+             ~populations:graph.G.populations ~mean_daily_requests:120.0
+             ~seed:(seed + 1))
+      in
+      let demand =
+        Vod_workload.Demand.of_requests catalog ~n_vhos:4 ~day0:0 ~days:7
+          ~n_windows:2 ~window_s:3600.0 trace.Vod_workload.Trace.requests
+      in
+      let total = Vod_workload.Catalog.total_size_gb catalog in
+      let inst =
+        Vod_placement.Instance.create ~graph ~catalog ~demand
+          ~disk_gb:(Vod_placement.Instance.uniform_disk ~total_gb:(2.5 *. total) 4)
+          ~link_capacity_mbps:(Vod_placement.Instance.uniform_links graph 500.0)
+          ()
+      in
+      let params =
+        { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = 25; seed }
+      in
+      let report = Vod_placement.Solve.solve ~params inst in
+      let sol = report.Vod_placement.Solve.solution in
+      let ok = ref true in
+      for v = 0 to 11 do
+        if Vod_placement.Solution.copies sol v < 1 then ok := false
+      done;
+      !ok)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_generated_graphs_connected;
+      prop_hops_symmetric;
+      prop_triangle_inequality;
+      prop_trace_deterministic;
+      prop_engine_usage_conserved;
+      prop_every_video_placed;
+    ]

@@ -1,0 +1,51 @@
+(* Tests for the iterative peak-window refinement (paper Sec. VI-B). *)
+
+module W = Vod_core.Window_refine
+
+let tiny_scenario () =
+  let graph =
+    Vod_topology.Graph.create ~name:"ring5" ~n:5
+      ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ]
+      ~populations:[| 3.0; 1.0; 1.0; 1.0; 1.0 |]
+  in
+  Vod_core.Scenario.make ~days:7 ~requests_per_video_per_day:15.0 ~seed:31 ~graph
+    ~n_videos:80 ()
+
+let fast_params = { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = 20 }
+
+let refinement_runs_and_reports () =
+  let sc = tiny_scenario () in
+  let disk = Vod_core.Scenario.uniform_disk sc ~multiple:2.0 in
+  let r =
+    W.solve ~params:fast_params ~max_rounds:3 sc ~day0:0 ~disk_gb:disk
+      ~link_capacity_mbps:200.0 ()
+  in
+  Alcotest.(check bool) "at least one round" true (List.length r.W.rounds >= 1);
+  Alcotest.(check bool) "at most max rounds" true (List.length r.W.rounds <= 3);
+  (* Window sets grow by exactly one per extra round. *)
+  let sizes = List.map (fun ri -> Array.length ri.W.windows) r.W.rounds in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> b = a + 1 && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "windows grow one per round" true (increasing sizes);
+  (* Converged means the final realized overload is within tolerance. *)
+  let last = List.nth r.W.rounds (List.length r.W.rounds - 1) in
+  if r.W.converged then
+    Alcotest.(check bool) "overload within tolerance" true (last.W.worst_overload <= 0.05)
+
+let generous_links_converge_immediately () =
+  let sc = tiny_scenario () in
+  let disk = Vod_core.Scenario.uniform_disk sc ~multiple:3.0 in
+  let r =
+    W.solve ~params:fast_params ~max_rounds:3 sc ~day0:0 ~disk_gb:disk
+      ~link_capacity_mbps:50_000.0 ()
+  in
+  Alcotest.(check bool) "converged" true r.W.converged;
+  Alcotest.(check int) "single round" 1 (List.length r.W.rounds)
+
+let suite =
+  [
+    Alcotest.test_case "refinement runs" `Slow refinement_runs_and_reports;
+    Alcotest.test_case "generous links converge" `Quick generous_links_converge_immediately;
+  ]

@@ -1,0 +1,150 @@
+(* Tests for vod_util: rng determinism, alias sampling, statistics. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let rng_deterministic () =
+  let a = Vod_util.Rng.create 42 and b = Vod_util.Rng.create 42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Vod_util.Rng.float a) (Vod_util.Rng.float b)
+  done
+
+let rng_split_independent () =
+  let a = Vod_util.Rng.create 42 in
+  let c = Vod_util.Rng.split a in
+  let x = Vod_util.Rng.float a and y = Vod_util.Rng.float c in
+  Alcotest.(check bool) "different streams" true (x <> y)
+
+let rng_float_range () =
+  let rng = Vod_util.Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let f = Vod_util.Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let rng_int_bounds () =
+  let rng = Vod_util.Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let i = Vod_util.Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (i >= 0 && i < 7)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Vod_util.Rng.int rng 0))
+
+let rng_permutation_valid () =
+  let rng = Vod_util.Rng.create 3 in
+  let p = Vod_util.Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let rng_exponential_mean () =
+  let rng = Vod_util.Rng.create 11 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Vod_util.Rng.exponential rng ~rate:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean close to 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
+
+let sampler_uniformity () =
+  let rng = Vod_util.Rng.create 5 in
+  let weights = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let s = Vod_util.Sampler.create weights in
+  let counts = Array.make 4 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Vod_util.Sampler.draw s rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = weights.(i) /. 10.0 in
+      let got = float_of_int c /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d frequency" i)
+        true
+        (Float.abs (got -. expected) < 0.01))
+    counts
+
+let sampler_rejects_bad_input () =
+  Alcotest.check_raises "empty" (Invalid_argument "Sampler.create: empty weight vector")
+    (fun () -> ignore (Vod_util.Sampler.create [||]));
+  Alcotest.check_raises "negative" (Invalid_argument "Sampler.create: negative weight")
+    (fun () -> ignore (Vod_util.Sampler.create [| 1.0; -1.0 |]));
+  Alcotest.check_raises "zero sum" (Invalid_argument "Sampler.create: weights must sum to > 0")
+    (fun () -> ignore (Vod_util.Sampler.create [| 0.0; 0.0 |]))
+
+let sampler_singleton () =
+  let rng = Vod_util.Rng.create 1 in
+  let s = Vod_util.Sampler.create [| 5.0 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "only outcome" 0 (Vod_util.Sampler.draw s rng)
+  done
+
+let sampler_zero_weight_never_drawn () =
+  let rng = Vod_util.Rng.create 2 in
+  let s = Vod_util.Sampler.create [| 1.0; 0.0; 1.0 |] in
+  for _ = 1 to 10_000 do
+    Alcotest.(check bool) "index 1 never drawn" true (Vod_util.Sampler.draw s rng <> 1)
+  done
+
+let stats_basics () =
+  check_float "mean" 2.5 (Vod_util.Stats_acc.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "mean empty" 0.0 (Vod_util.Stats_acc.mean [||]);
+  check_float "max" 4.0 (Vod_util.Stats_acc.max_elt [| 1.0; 4.0; 3.0 |]);
+  check_float "min" 1.0 (Vod_util.Stats_acc.min_elt [| 1.0; 4.0; 3.0 |]);
+  check_float "sum" 10.0 (Vod_util.Stats_acc.sum [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "median" 2.0 (Vod_util.Stats_acc.percentile 0.5 [| 3.0; 1.0; 2.0 |]);
+  check_float "geomean" 2.0 (Vod_util.Stats_acc.geometric_mean [| 1.0; 2.0; 4.0 |])
+
+let cosine_similarity_cases () =
+  let v l =
+    let t = Hashtbl.create 8 in
+    List.iter (fun (k, x) -> Hashtbl.replace t k x) l;
+    t
+  in
+  check_float "identical" 1.0
+    (Vod_util.Stats_acc.cosine_similarity (v [ (1, 2.0); (2, 3.0) ]) (v [ (1, 2.0); (2, 3.0) ]));
+  check_float "orthogonal" 0.0
+    (Vod_util.Stats_acc.cosine_similarity (v [ (1, 1.0) ]) (v [ (2, 1.0) ]));
+  check_float "empty" 0.0 (Vod_util.Stats_acc.cosine_similarity (v []) (v [ (1, 1.0) ]))
+
+let table_render () =
+  let s = Vod_util.Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "10"; "20" ] ] in
+  Alcotest.(check bool) "contains header" true (String.length s > 0);
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.render: ragged row") (fun () ->
+      ignore (Vod_util.Table.render ~header:[ "a" ] [ [ "1"; "2" ] ]))
+
+let prop_sampler_matches_weights =
+  QCheck.Test.make ~name:"alias sampler never draws zero-weight outcomes" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.0 10.0))
+    (fun ws ->
+      let ws = Array.of_list ws in
+      QCheck.assume (Array.exists (fun w -> w > 0.1) ws);
+      let s = Vod_util.Sampler.create ws in
+      let rng = Vod_util.Rng.create 77 in
+      let ok = ref true in
+      for _ = 1 to 500 do
+        let i = Vod_util.Sampler.draw s rng in
+        if ws.(i) = 0.0 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick rng_deterministic;
+    Alcotest.test_case "rng split independent" `Quick rng_split_independent;
+    Alcotest.test_case "rng float range" `Quick rng_float_range;
+    Alcotest.test_case "rng int bounds" `Quick rng_int_bounds;
+    Alcotest.test_case "rng permutation valid" `Quick rng_permutation_valid;
+    Alcotest.test_case "rng exponential mean" `Quick rng_exponential_mean;
+    Alcotest.test_case "sampler uniformity" `Quick sampler_uniformity;
+    Alcotest.test_case "sampler input validation" `Quick sampler_rejects_bad_input;
+    Alcotest.test_case "sampler singleton" `Quick sampler_singleton;
+    Alcotest.test_case "sampler zero weight" `Quick sampler_zero_weight_never_drawn;
+    Alcotest.test_case "stats basics" `Quick stats_basics;
+    Alcotest.test_case "cosine similarity" `Quick cosine_similarity_cases;
+    Alcotest.test_case "table render" `Quick table_render;
+    QCheck_alcotest.to_alcotest prop_sampler_matches_weights;
+  ]
