@@ -22,7 +22,7 @@ let fig2_working_set (sc : Vod_core.Scenario.t) =
     in
     fracs := (float_of_int distinct /. lib_n, gb /. lib_gb) :: !fracs
   done;
-  let sorted = List.sort (fun (a, _) (b, _) -> compare b a) !fracs in
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare b a) !fracs in
   List.iteri
     (fun rank (video_frac, gb_frac) ->
       if rank < 10 || rank mod 5 = 0 then

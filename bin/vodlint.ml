@@ -1,0 +1,68 @@
+(* vodlint — static analysis enforcing the repo's solver-safety
+   invariants (see DESIGN.md, "Static analysis").
+
+   Usage: vodlint [--format text|json] [--disable IDS] [--list-rules]
+                  [PATH ...]
+
+   With no paths it lints the default scope: lib/ bin/ bench/ examples/.
+   Exit code 0 when clean, 1 on findings, 2 on usage errors. *)
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+
+let usage = "vodlint [--format text|json] [--disable IDS] [--list-rules] [PATH ...]"
+
+let () =
+  let format = ref `Text in
+  let disabled = ref [] in
+  let list_rules = ref false in
+  let roots = ref [] in
+  let set_format = function
+    | "text" -> format := `Text
+    | "json" -> format := `Json
+    | other ->
+        prerr_endline ("vodlint: unknown format '" ^ other ^ "' (expected text or json)");
+        exit 2
+  in
+  let add_disabled s =
+    disabled := List.filter (fun id -> id <> "") (String.split_on_char ',' s) @ !disabled
+  in
+  let spec =
+    [
+      ("--format", Arg.String set_format, "FMT report as 'text' (default) or 'json'");
+      ("--disable", Arg.String add_disabled, "IDS comma-separated rule ids to skip");
+      ("--list-rules", Arg.Set list_rules, " print rule ids and descriptions, then exit");
+    ]
+  in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Vod_lint.Rules.t) -> print_endline (Printf.sprintf "%-18s %s" r.id r.doc))
+      Vod_lint.Rules.all;
+    exit 0
+  end;
+  List.iter
+    (fun id ->
+      if Vod_lint.Rules.find id = None then begin
+        prerr_endline ("vodlint: unknown rule id '" ^ id ^ "' (see --list-rules)");
+        exit 2
+      end)
+    !disabled;
+  let rules =
+    List.filter (fun (r : Vod_lint.Rules.t) -> not (List.mem r.id !disabled)) Vod_lint.Rules.all
+  in
+  let roots = match List.rev !roots with [] -> default_roots | rs -> rs in
+  let diags =
+    try Vod_lint.Engine.lint_paths ~rules roots
+    with Invalid_argument msg ->
+      prerr_endline ("vodlint: " ^ msg);
+      exit 2
+  in
+  (match !format with
+  | `Text ->
+      List.iter (fun d -> print_endline (Vod_lint.Diagnostic.to_text d)) diags;
+      if diags <> [] then
+        prerr_endline
+          (Printf.sprintf "vodlint: %d finding%s" (List.length diags)
+             (if List.length diags = 1 then "" else "s"))
+  | `Json -> print_endline (Vod_lint.Diagnostic.list_to_json diags));
+  exit (if diags = [] then 0 else 1)

@@ -105,11 +105,17 @@ let insert t video ~size_gb ~now ~busy_until =
     while !ok && t.used_gb +. size_gb > t.capacity_gb do
       match victim t ~now with
       | None -> ok := false
-      | Some v ->
-          let e = Hashtbl.find t.entries v in
-          Hashtbl.remove t.entries v;
-          t.used_gb <- t.used_gb -. e.size_gb;
-          evicted := v :: !evicted
+      | Some v -> (
+          (* [victim] only returns keys it just saw in [t.entries], and
+             nothing removes entries between that scan and this lookup,
+             so a miss here is a broken-invariant bug — not a
+             recoverable condition. Keep the eviction total anyway. *)
+          match Hashtbl.find_opt t.entries v with
+          | None -> ok := false
+          | Some e ->
+              Hashtbl.remove t.entries v;
+              t.used_gb <- t.used_gb -. e.size_gb;
+              evicted := v :: !evicted)
     done;
     if not !ok then (false, !evicted)
     else begin

@@ -102,7 +102,7 @@ let solve ?(params = Vod_epf.Engine.default_params) ?(max_rounds = 4)
           Array.map
             (fun l ->
               let a = Array.of_list l in
-              Array.sort (fun (i, _) (j, _) -> compare i j) a;
+              Array.sort (fun (i, _) (j, _) -> Int.compare i j) a;
               a)
             per)
         windows

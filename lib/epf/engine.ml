@@ -206,7 +206,7 @@ let prune_combo combo =
   let kept =
     if List.length kept <= max_combo_points then kept
     else begin
-      let sorted = List.sort (fun (_, w1) (_, w2) -> compare w2 w1) kept in
+      let sorted = List.sort (fun (_, w1) (_, w2) -> Float.compare w2 w1) kept in
       List.filteri (fun i _ -> i < max_combo_points) sorted
     end
   in

@@ -18,7 +18,7 @@ let of_assoc l =
         Hashtbl.replace tbl r (cur +. v))
     l;
   let arr = Array.of_seq (Hashtbl.to_seq tbl) in
-  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
   arr
 
 (* [axpby a x b y] = a*x + b*y as a fresh sorted sparse vector. *)
@@ -46,7 +46,7 @@ let axpby a (x : t) b (y : t) : t =
     end
   done;
   let arr = Array.of_list !out in
-  Array.sort (fun (p, _) (q, _) -> compare p q) arr;
+  Array.sort (fun (p, _) (q, _) -> Int.compare p q) arr;
   arr
 
 let sub x y = axpby 1.0 x (-1.0) y

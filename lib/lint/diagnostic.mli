@@ -1,0 +1,25 @@
+(** Lint findings: a source position, the rule id that fired, and a
+    human-readable message. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;   (** 0-based, matching compiler convention *)
+  rule : string;
+  message : string;
+}
+
+(** Build a diagnostic from a compiler [Location.t] (start position). *)
+val make : file:string -> loc:Location.t -> rule:string -> string -> t
+
+(** Order by file, then line, column, rule — the report order. *)
+val compare : t -> t -> int
+
+(** [file:line:col [rule-id] message] — one line, no trailing newline. *)
+val to_text : t -> string
+
+(** One finding as a JSON object. *)
+val to_json : t -> string
+
+(** A findings list as a JSON array. *)
+val list_to_json : t list -> string

@@ -1,0 +1,100 @@
+(* The vodlint driver: discover .ml/.mli files, parse them with
+   compiler-libs, run every enabled rule, drop suppressed findings, and
+   hand back a sorted diagnostic list. Reporting stays in the caller
+   ([bin/vodlint.ml]) so this library never writes to the console. *)
+
+let ml_suffix path = Filename.check_suffix path ".ml"
+let mli_suffix path = Filename.check_suffix path ".mli"
+
+let skip_dir name =
+  name = "_build" || name = ".git" || (String.length name > 0 && name.[0] = '.')
+
+(* Depth-first walk, children visited in sorted order so reports are
+   deterministic across filesystems. *)
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if skip_dir name then acc else walk (Filename.concat path name) acc)
+         acc
+  else if ml_suffix path || mli_suffix path then path :: acc
+  else acc
+
+let discover roots =
+  List.fold_left
+    (fun acc root ->
+      if Sys.file_exists root then walk root acc
+      else invalid_arg (Printf.sprintf "Engine.discover: no such path: %s" root))
+    [] roots
+  |> List.sort String.compare
+
+let ctx_of_path ~on_disk path =
+  let has_prefix p =
+    String.length path >= String.length p && String.sub path 0 (String.length p) = p
+  in
+  {
+    Rules.path;
+    in_lib = has_prefix "lib/" || has_prefix "./lib/";
+    in_div_scope =
+      has_prefix "lib/epf/" || has_prefix "lib/lp/" || has_prefix "./lib/epf/"
+      || has_prefix "./lib/lp/";
+    on_disk;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse one file with the compiler front end. [Pparse] handles the
+   ast-magic / preprocessor plumbing the compiler itself uses. *)
+let parse_file path =
+  if mli_suffix path then
+    Rules.Intf (Pparse.parse_interface ~tool_name:"vodlint" path)
+  else Rules.Impl (Pparse.parse_implementation ~tool_name:"vodlint" path)
+
+let parse_string ~path src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  if mli_suffix path then Rules.Intf (Parse.interface lexbuf)
+  else Rules.Impl (Parse.implementation lexbuf)
+
+let exn_message e =
+  match Location.error_of_exn e with
+  | Some (`Ok err) -> Format.asprintf "%a" Location.print_report err
+  | Some `Already_displayed | None -> Printexc.to_string e
+
+let parse_error_diag ~path e =
+  {
+    Diagnostic.file = path;
+    line = 1;
+    col = 0;
+    rule = "parse-error";
+    message = String.map (fun c -> if c = '\n' then ' ' else c) (exn_message e);
+  }
+
+let run_rules ~rules ~ctx ~src ast =
+  let suppressions = Suppress.scan src in
+  List.concat_map (fun (r : Rules.t) -> r.check ctx ast) rules
+  |> List.filter (fun (d : Diagnostic.t) ->
+         not (Suppress.suppressed suppressions ~line:d.line ~rule:d.rule))
+
+let lint_string ?(rules = Rules.all) ~path src =
+  match parse_string ~path src with
+  | ast -> run_rules ~rules ~ctx:(ctx_of_path ~on_disk:false path) ~src ast |> List.sort Diagnostic.compare
+  | exception e -> [ parse_error_diag ~path e ]
+
+let lint_file ?(rules = Rules.all) path =
+  match parse_file path with
+  | ast ->
+      let src = read_file path in
+      run_rules ~rules ~ctx:(ctx_of_path ~on_disk:true path) ~src ast
+  | exception e -> [ parse_error_diag ~path e ]
+
+let lint_paths ?(rules = Rules.all) roots =
+  discover roots
+  |> List.concat_map (fun path -> lint_file ~rules path)
+  |> List.sort_uniq Diagnostic.compare

@@ -1,0 +1,23 @@
+(** File discovery, parsing and rule execution for vodlint.
+
+    The engine returns diagnostics; it never prints. Parse failures
+    surface as a synthetic ["parse-error"] diagnostic rather than an
+    exception, so one unreadable file cannot hide findings in the
+    rest of the tree. *)
+
+(** All [.ml]/[.mli] files under the given roots (files are accepted
+    too), sorted; [_build], [.git] and dot-directories are skipped.
+    Raises [Invalid_argument] on a nonexistent root. *)
+val discover : string list -> string list
+
+(** Lint an in-memory snippet. [path] determines which path-scoped
+    rules apply (e.g. ["lib/epf/engine.ml"] enables the lib-only and
+    division rules) and is the file reported in diagnostics. *)
+val lint_string : ?rules:Rules.t list -> path:string -> string -> Diagnostic.t list
+
+(** Lint one file on disk. *)
+val lint_file : ?rules:Rules.t list -> string -> Diagnostic.t list
+
+(** Discover and lint every source file under the roots; diagnostics
+    are sorted and de-duplicated. *)
+val lint_paths : ?rules:Rules.t list -> string list -> Diagnostic.t list

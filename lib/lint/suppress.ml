@@ -1,0 +1,88 @@
+(* Inline suppression comments.
+
+   A comment of the form
+
+     (* vodlint-disable rule-a rule-b *)
+
+   suppresses the named rules on the comment's own line and on the line
+   directly below it (so a justification comment can sit on its own line
+   above the flagged expression). With no rule ids the comment suppresses
+   every rule on those lines. Ids may be separated by spaces or commas.
+
+   Detection is textual (substring scan per line) rather than AST-based:
+   comments do not survive parsing, and a per-line scan keeps the
+   mechanism predictable for users reading the source. *)
+
+type t = (int, string list option) Hashtbl.t
+(* line -> Some rule-ids | None meaning "all rules" *)
+
+let marker = "vodlint-disable"
+
+let is_id_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+(* Rule ids following the marker, up to the closing "*)" if present. *)
+let ids_after line start =
+  let n = String.length line in
+  let rec find_close i =
+    if i + 1 >= n then n else if line.[i] = '*' && line.[i + 1] = ')' then i else find_close (i + 1)
+  in
+  let stop = find_close start in
+  let chunk = String.sub line start (stop - start) in
+  String.split_on_char ' ' chunk
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter_map (fun tok ->
+         let tok = String.trim tok in
+         if tok <> "" && String.for_all is_id_char tok then Some tok else None)
+
+let find_marker line =
+  let n = String.length line and m = String.length marker in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = marker then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let has_close line =
+  let n = String.length line in
+  let rec go i = i + 1 < n && ((line.[i] = '*' && line.[i + 1] = ')') || go (i + 1)) in
+  go 0
+
+let scan src : t =
+  let table = Hashtbl.create 8 in
+  let lines = Array.of_list (String.split_on_char '\n' src) in
+  let add lineno entry =
+    let merged =
+      match (Hashtbl.find_opt table lineno, entry) with
+      | Some None, _ | _, None -> None
+      | Some (Some old_ids), Some ids -> Some (old_ids @ ids)
+      | None, some -> some
+    in
+    Hashtbl.replace table lineno merged
+  in
+  Array.iteri
+    (fun idx line ->
+      match find_marker line with
+      | None -> ()
+      | Some after ->
+          let entry = match ids_after line after with [] -> None | ids -> Some ids in
+          (* The marker's comment may span several lines; suppress every
+             line of the comment so the covered code line is always the
+             one right after the closing "*)". *)
+          let rec close_idx i =
+            if i >= Array.length lines || has_close lines.(i) then i else close_idx (i + 1)
+          in
+          let last = Stdlib.min (close_idx idx) (Array.length lines - 1) in
+          for l = idx + 1 to last + 1 do
+            add l entry
+          done)
+    lines;
+  table
+
+let suppressed (table : t) ~line ~rule =
+  let matches = function
+    | None -> true
+    | Some ids -> List.mem rule ids
+  in
+  let at l = match Hashtbl.find_opt table l with Some e -> matches e | None -> false in
+  at line || at (line - 1)

@@ -1,0 +1,14 @@
+(** Inline [(* vodlint-disable rule-id ... *)] suppression comments.
+
+    A marker suppresses the listed rules (all rules when none are
+    listed) on its own line and the line directly below, so it can be
+    written either trailing the flagged expression or on a line of its
+    own above it with a justification. *)
+
+type t
+
+(** Scan full source text for suppression markers. *)
+val scan : string -> t
+
+(** Is [rule] suppressed at [line] (1-based)? *)
+val suppressed : t -> line:int -> rule:string -> bool

@@ -38,6 +38,8 @@ let pivot tableau basis prow pcol =
   let nrows = Array.length tableau in
   let p = tableau.(prow).(pcol) in
   for c = 0 to ncols - 1 do
+    (* vodlint-disable unguarded-div — both callers select the pivot with
+       |tableau.(prow).(pcol)| > epsilon, so p is bounded away from 0. *)
     tableau.(prow).(c) <- tableau.(prow).(c) /. p
   done;
   for r = 0 to nrows - 1 do

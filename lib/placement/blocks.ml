@@ -54,7 +54,7 @@ let build_blocks (inst : Instance.t) =
       done;
       let clients =
         Hashtbl.fold (fun vho (a, f) acc -> { vho; a; f } :: acc) tbl []
-        |> List.sort (fun c1 c2 -> compare c1.vho c2.vho)
+        |> List.sort (fun c1 c2 -> Int.compare c1.vho c2.vho)
         |> Array.of_list
       in
       let v = Vod_workload.Catalog.video inst.Instance.catalog video in
@@ -146,7 +146,7 @@ let point_of_solution (inst : Instance.t) (b : block)
   let data =
     {
       video = b.video;
-      open_vhos = Array.of_list (List.sort compare !opens);
+      open_vhos = Array.of_list (List.sort Int.compare !opens);
       serve;
     }
   in
@@ -189,7 +189,7 @@ let warm_disk_prices (inst : Instance.t) =
     demand.Vod_workload.Demand.a;
   Array.mapi
     (fun i entries ->
-      let sorted = List.sort (fun (d1, _) (d2, _) -> compare d2 d1) entries in
+      let sorted = List.sort (fun (d1, _) (d2, _) -> Float.compare d2 d1) entries in
       let cap = ref inst.Instance.disk_gb.(i) in
       let marginal = ref 0.0 in
       List.iter

@@ -72,7 +72,7 @@ let load_csv ~n_vhos ~n_videos path =
         Array.map
           (fun l ->
             let arr = Array.of_list l in
-            Array.sort compare arr;
+            Array.sort Int.compare arr;
             arr)
           stored
       in

@@ -192,6 +192,6 @@ let load_edge_list ?(name = "edge-list") ?populations_path ~path () =
 let top_population_nodes (g : Graph.t) k =
   let idx = Array.init g.Graph.n (fun i -> i) in
   Array.sort
-    (fun a b -> compare g.Graph.populations.(b) g.Graph.populations.(a))
+    (fun a b -> Float.compare g.Graph.populations.(b) g.Graph.populations.(a))
     idx;
   Array.sub idx 0 k

@@ -17,7 +17,7 @@ let percentile p a =
   if n = 0 then invalid_arg "Stats_acc.percentile: empty array";
   if p < 0.0 || p > 1.0 then invalid_arg "Stats_acc.percentile: p out of range";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
   sorted.(idx)
 

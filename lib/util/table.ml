@@ -38,6 +38,8 @@ let render ?(align = Right) ~header rows =
     rows;
   Buffer.contents buf
 
+(* vodlint-disable print-in-lib — Table is the console emitter the bench
+   and example binaries render paper tables with; stdout is its contract. *)
 let print ?align ~header rows = print_string (render ?align ~header rows)
 
 let fmt_float ?(digits = 2) x =

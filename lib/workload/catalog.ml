@@ -146,7 +146,7 @@ let series_episodes t series =
          | Video.Regular | Video.Music_video | Video.Blockbuster -> false)
   |> List.sort (fun a b ->
          match (a.Video.kind, b.Video.kind) with
-         | Video.Episode x, Video.Episode y -> compare x.episode y.episode
+         | Video.Episode x, Video.Episode y -> Int.compare x.episode y.episode
          | _ -> 0)
 
 let previous_episode t v =

@@ -24,7 +24,7 @@ let sparse_of_tbl ~n_videos (tbl : (int * int, int) Hashtbl.t) =
   Array.map
     (fun l ->
       let arr = Array.of_list l in
-      Array.sort (fun (i, _) (j, _) -> compare i j) arr;
+      Array.sort (fun (i, _) (j, _) -> Int.compare i j) arr;
       arr)
     per_video
 
@@ -69,5 +69,5 @@ let video_requests t video =
 let rank_by_demand t =
   let order = Array.init t.n_videos (fun v -> v) in
   let tot = Array.init t.n_videos (fun v -> video_requests t v) in
-  Array.sort (fun x y -> compare tot.(y) tot.(x)) order;
+  Array.sort (fun x y -> Float.compare tot.(y) tot.(x)) order;
   order

@@ -28,7 +28,7 @@ let peak_hours (trace : Trace.t) ~k =
       if h >= 0 && h < hours then counts.(h) <- counts.(h) + 1)
     trace;
   let order = Array.init hours (fun h -> h) in
-  Array.sort (fun a b -> compare counts.(b) counts.(a)) order;
+  Array.sort (fun a b -> Int.compare counts.(b) counts.(a)) order;
   let chosen = ref [] and used_days = Hashtbl.create 8 in
   (try
      Array.iter
@@ -58,7 +58,7 @@ let peak_windows (trace : Trace.t) ~window_s ~k =
       if b >= 0 && b < n_bins then counts.(b) <- counts.(b) + 1)
     trace;
   let order = Array.init n_bins (fun b -> b) in
-  Array.sort (fun a b -> compare counts.(b) counts.(a)) order;
+  Array.sort (fun a b -> Int.compare counts.(b) counts.(a)) order;
   let chosen = ref [] and used_days = Hashtbl.create 8 in
   (try
      Array.iter
@@ -155,7 +155,7 @@ let aggregate_demand (trace : Trace.t) =
    the configured popularity law. *)
 let fit_zipf_exponent ?(head_frac = 0.2) counts =
   let sorted = Array.copy counts in
-  Array.sort (fun a b -> compare b a) sorted;
+  Array.sort (fun a b -> Int.compare b a) sorted;
   let n = Array.length sorted in
   let k = max 2 (int_of_float (head_frac *. float_of_int n)) in
   let xs = ref [] and ys = ref [] in

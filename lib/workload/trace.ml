@@ -19,7 +19,7 @@ let day_of_time time_s = int_of_float (time_s /. seconds_per_day)
 
 let create ~n_vhos ~days requests =
   let sorted = Array.copy requests in
-  Array.sort (fun a b -> compare a.time_s b.time_s) sorted;
+  Array.sort (fun a b -> Float.compare a.time_s b.time_s) sorted;
   Array.iter
     (fun r ->
       if r.vho < 0 || r.vho >= n_vhos then invalid_arg "Trace.create: vho out of range";

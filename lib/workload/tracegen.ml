@@ -34,7 +34,7 @@ let poisson rng lambda =
   end
   else begin
     (* Box-Muller normal approximation. *)
-    let u1 = max 1e-12 (Vod_util.Rng.float rng) in
+    let u1 = Float.max 1e-12 (Vod_util.Rng.float rng) in
     let u2 = Vod_util.Rng.float rng in
     let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
     let x = lambda +. (sqrt lambda *. z) in

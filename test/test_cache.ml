@@ -229,9 +229,39 @@ let fleet_mip_routing () =
     done
   done
 
+(* Regression for the eviction loop's Hashtbl.find -> find_opt
+   conversion: victims are removed exactly once, the byte accounting
+   stays consistent across multi-victim evictions, and a failed
+   admission still reports the entries it freed along the way. *)
+let eviction_path_accounting () =
+  let c = Vod_cache.Cache.create ~policy:Vod_cache.Cache.Lru ~capacity_gb:3.0 in
+  List.iter
+    (fun v ->
+      let inserted, evicted = Vod_cache.Cache.insert c v ~size_gb:1.0 ~now:0.0 ~busy_until:0.0 in
+      Alcotest.(check bool) "initial insert fits" true inserted;
+      Alcotest.(check (list int)) "no eviction while filling" [] evicted)
+    [ 1; 2; 3 ];
+  (* Needs 2 GB: must evict the two least-recently-used idle entries. *)
+  let inserted, evicted = Vod_cache.Cache.insert c 4 ~size_gb:2.0 ~now:1.0 ~busy_until:0.0 in
+  Alcotest.(check bool) "insert after eviction" true inserted;
+  Alcotest.(check (list int)) "two LRU victims, once each" [ 2; 1 ] evicted;
+  Alcotest.(check (float 1e-9)) "accounting exact" 3.0 (Vod_cache.Cache.used_gb c);
+  Alcotest.(check int) "resident count" 2 (Vod_cache.Cache.size c);
+  Alcotest.(check bool) "survivor present" true (Vod_cache.Cache.mem c 3);
+  Alcotest.(check bool) "newcomer present" true (Vod_cache.Cache.mem c 4);
+  (* All residents busy: admission fails, but idle space freed first is
+     still reported (here: none, both entries are streaming). *)
+  ignore (Vod_cache.Cache.touch c 3 ~busy_until:100.0);
+  ignore (Vod_cache.Cache.touch c 4 ~busy_until:100.0);
+  let inserted, evicted = Vod_cache.Cache.insert c 5 ~size_gb:1.0 ~now:2.0 ~busy_until:0.0 in
+  Alcotest.(check bool) "no admission when all busy" false inserted;
+  Alcotest.(check (list int)) "nothing evictable" [] evicted;
+  Alcotest.(check (float 1e-9)) "accounting unchanged" 3.0 (Vod_cache.Cache.used_gb c)
+
 let suite =
   [
     Alcotest.test_case "lru eviction order" `Quick lru_eviction_order;
+    Alcotest.test_case "eviction path accounting" `Quick eviction_path_accounting;
     Alcotest.test_case "lfu eviction order" `Quick lfu_eviction_order;
     Alcotest.test_case "stream locking" `Quick stream_locking;
     Alcotest.test_case "oversized video" `Quick oversized_video;

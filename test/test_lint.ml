@@ -1,0 +1,196 @@
+(* vodlint fixture tests: for every rule, one snippet the rule must
+   flag and one conforming snippet it must stay quiet on, plus the
+   suppression-comment contract and parse-error reporting. Snippets are
+   linted in memory via [Engine.lint_string]; the [path] given to the
+   engine selects the scoped rules (lib-only, epf/lp-only). *)
+
+let fired ?(path = "lib/fake/mod.ml") src =
+  Vod_lint.Engine.lint_string ~path src
+  |> List.map (fun d -> d.Vod_lint.Diagnostic.rule)
+  |> List.sort_uniq String.compare
+
+let check_fires rule ?path src () =
+  Alcotest.(check bool)
+    (rule ^ " fires") true
+    (List.mem rule (fired ?path src))
+
+let check_quiet rule ?path src () =
+  Alcotest.(check (list string)) (rule ^ " quiet") []
+    (List.filter (fun r -> r = rule) (fired ?path src))
+
+(* --- poly-compare ------------------------------------------------- *)
+
+let pc_bad = "let f (a : float array) = Array.sort compare a"
+let pc_bad_lambda = "let f l = List.sort (fun (_, w1) (_, w2) -> compare w2 w1) l"
+let pc_bad_float_eq = "let f x = x = 1.0"
+let pc_good = "let f (a : float array) = Array.sort Float.compare a"
+let pc_good_guard = "let f x = if x = 1.0 then 0 else 1"
+
+(* --- exception-swallow -------------------------------------------- *)
+
+let es_bad = "let f g = try g () with _ -> 0"
+let es_bad_ignore = "let f g = try g () with e -> ignore e"
+let es_good = "let f g = try g () with Not_found -> 0"
+
+(* --- hashtbl-find ------------------------------------------------- *)
+
+let hf_bad = "let f t k = Hashtbl.find t k"
+let hf_good_try = "let f t k = try Hashtbl.find t k with Not_found -> 0"
+let hf_good_match = "let f t k = match Hashtbl.find t k with x -> x | exception Not_found -> 0"
+let hf_good_opt = "let f t k = Hashtbl.find_opt t k"
+
+(* --- print-in-lib ------------------------------------------------- *)
+
+let pl_bad = {|let f () = print_endline "x"|}
+let pl_good = {|let f () = Logs.info (fun m -> m "x")|}
+
+(* --- no-failwith -------------------------------------------------- *)
+
+let nf_bad = {|let f () = failwith "boom"|}
+let nf_bad_assert = "let f = function Some x -> x | None -> assert false"
+let nf_good = {|let f () = invalid_arg "bad input"|}
+
+(* --- quadratic-loop ----------------------------------------------- *)
+
+let ql_bad_for = "let f l = for i = 0 to 9 do ignore (List.nth l i) done"
+let ql_bad_rec = "let rec f acc = function [] -> acc | x :: tl -> f (acc @ [ x ]) tl"
+let ql_good = "let f l = List.nth l 3"
+let ql_good_rev = "let rec f acc = function [] -> acc | x :: tl -> f (x :: acc) tl"
+
+(* --- unguarded-div ------------------------------------------------ *)
+
+let ud_bad = "let f a b = a /. b"
+let ud_good_guard = "let f a b = if b > 0.0 then a /. b else 0.0"
+let ud_good_eps = "let f a ~eps = a /. eps"
+let ud_good_match_guard = "let f a = function Some b when b > 0.0 -> a /. b | _ -> 0.0"
+
+(* --- suppression -------------------------------------------------- *)
+
+let sup_same_line = "let f t k = Hashtbl.find t k (* vodlint-disable hashtbl-find *)"
+
+let sup_line_above =
+  "(* vodlint-disable hashtbl-find -- key inserted two lines up *)\nlet f t k = Hashtbl.find t k"
+
+let sup_all_rules = "let f t k = Hashtbl.find t k (* vodlint-disable *)"
+let sup_wrong_rule = "let f t k = Hashtbl.find t k (* vodlint-disable poly-compare *)"
+
+let suppression_cases () =
+  Alcotest.(check (list string)) "same-line id suppresses" [] (fired sup_same_line);
+  Alcotest.(check (list string)) "line-above id suppresses" [] (fired sup_line_above);
+  Alcotest.(check (list string)) "bare marker suppresses all" [] (fired sup_all_rules);
+  Alcotest.(check bool) "unrelated id does not suppress" true
+    (List.mem "hashtbl-find" (fired sup_wrong_rule))
+
+(* --- engine behavior ---------------------------------------------- *)
+
+let parse_error_reported () =
+  Alcotest.(check (list string)) "syntax error becomes a diagnostic" [ "parse-error" ]
+    (fired "let = (")
+
+let scoped_rules_respect_path () =
+  (* print/failwith are lib-only; unguarded-div is epf/lp-only. *)
+  Alcotest.(check (list string)) "print ok outside lib" []
+    (fired ~path:"bench/exp.ml" pl_bad);
+  Alcotest.(check (list string)) "failwith ok outside lib" []
+    (fired ~path:"bin/tool.ml" nf_bad);
+  Alcotest.(check (list string)) "division ok outside epf/lp" []
+    (fired ~path:"lib/util/maths.ml" ud_bad)
+
+let clean_realistic_snippet () =
+  let src =
+    {|
+let percentile p a =
+  if Array.length a = 0 then invalid_arg "empty";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  sorted.(int_of_float (p *. float_of_int (Array.length a - 1)))
+|}
+  in
+  Alcotest.(check (list string)) "clean code is clean" [] (fired ~path:"lib/util/s.ml" src)
+
+let missing_mli_on_disk () =
+  (* missing-mli consults the filesystem, so exercise it via lint_file
+     on a scratch lib/ directory below the test's working directory. *)
+  let dir = "lib/lintfixture" in
+  if not (Sys.file_exists "lib") then Sys.mkdir "lib" 0o755;
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let ml = Filename.concat dir "orphan.ml" in
+  let write path s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ ml; ml ^ "i" ])
+    (fun () ->
+      write ml "let x = 1\n";
+      let rules = List.filter (fun r -> r.Vod_lint.Rules.id = "missing-mli") Vod_lint.Rules.all in
+      let fired_ids () =
+        Vod_lint.Engine.lint_file ~rules ml |> List.map (fun d -> d.Vod_lint.Diagnostic.rule)
+      in
+      Alcotest.(check (list string)) "orphan .ml flagged" [ "missing-mli" ] (fired_ids ());
+      write (ml ^ "i") "val x : int\n";
+      Alcotest.(check (list string)) "paired .ml clean" [] (fired_ids ()))
+
+let json_report_shape () =
+  let diags = Vod_lint.Engine.lint_string ~path:"lib/fake/m.ml" hf_bad in
+  let json = Vod_lint.Diagnostic.list_to_json diags in
+  Alcotest.(check bool) "json mentions rule id" true
+    (let sub = {|"rule":"hashtbl-find"|} in
+     let n = String.length json and m = String.length sub in
+     let rec go i = i + m <= n && (String.sub json i m = sub || go (i + 1)) in
+     go 0)
+
+let suite =
+  [
+    Alcotest.test_case "poly-compare fires on bare sort" `Quick (check_fires "poly-compare" pc_bad);
+    Alcotest.test_case "poly-compare fires in comparator lambda" `Quick
+      (check_fires "poly-compare" pc_bad_lambda);
+    Alcotest.test_case "poly-compare fires on float-literal =" `Quick
+      (check_fires "poly-compare" pc_bad_float_eq);
+    Alcotest.test_case "poly-compare quiet on Float.compare" `Quick
+      (check_quiet "poly-compare" pc_good);
+    Alcotest.test_case "poly-compare quiet on guard-position =" `Quick
+      (check_quiet "poly-compare" pc_good_guard);
+    Alcotest.test_case "exception-swallow fires on wildcard" `Quick
+      (check_fires "exception-swallow" es_bad);
+    Alcotest.test_case "exception-swallow fires on ignore e" `Quick
+      (check_fires "exception-swallow" es_bad_ignore);
+    Alcotest.test_case "exception-swallow quiet on specific exn" `Quick
+      (check_quiet "exception-swallow" es_good);
+    Alcotest.test_case "hashtbl-find fires raw" `Quick (check_fires "hashtbl-find" hf_bad);
+    Alcotest.test_case "hashtbl-find quiet under try" `Quick (check_quiet "hashtbl-find" hf_good_try);
+    Alcotest.test_case "hashtbl-find quiet under match-exception" `Quick
+      (check_quiet "hashtbl-find" hf_good_match);
+    Alcotest.test_case "hashtbl-find quiet on find_opt" `Quick
+      (check_quiet "hashtbl-find" hf_good_opt);
+    Alcotest.test_case "print-in-lib fires in lib" `Quick (check_fires "print-in-lib" pl_bad);
+    Alcotest.test_case "print-in-lib quiet on Logs" `Quick (check_quiet "print-in-lib" pl_good);
+    Alcotest.test_case "no-failwith fires on failwith" `Quick (check_fires "no-failwith" nf_bad);
+    Alcotest.test_case "no-failwith fires on assert false" `Quick
+      (check_fires "no-failwith" nf_bad_assert);
+    Alcotest.test_case "no-failwith quiet on invalid_arg" `Quick (check_quiet "no-failwith" nf_good);
+    Alcotest.test_case "quadratic-loop fires on List.nth in for" `Quick
+      (check_fires "quadratic-loop" ql_bad_for);
+    Alcotest.test_case "quadratic-loop fires on @ in rec" `Quick
+      (check_fires "quadratic-loop" ql_bad_rec);
+    Alcotest.test_case "quadratic-loop quiet outside loops" `Quick
+      (check_quiet "quadratic-loop" ql_good);
+    Alcotest.test_case "quadratic-loop quiet on cons accumulation" `Quick
+      (check_quiet "quadratic-loop" ql_good_rev);
+    Alcotest.test_case "unguarded-div fires in epf" `Quick
+      (check_fires "unguarded-div" ~path:"lib/epf/f.ml" ud_bad);
+    Alcotest.test_case "unguarded-div quiet under if guard" `Quick
+      (check_quiet "unguarded-div" ~path:"lib/epf/f.ml" ud_good_guard);
+    Alcotest.test_case "unguarded-div quiet on eps param" `Quick
+      (check_quiet "unguarded-div" ~path:"lib/lp/f.ml" ud_good_eps);
+    Alcotest.test_case "unguarded-div quiet under when guard" `Quick
+      (check_quiet "unguarded-div" ~path:"lib/lp/f.ml" ud_good_match_guard);
+    Alcotest.test_case "suppression comments" `Quick suppression_cases;
+    Alcotest.test_case "parse error reported" `Quick parse_error_reported;
+    Alcotest.test_case "path scoping" `Quick scoped_rules_respect_path;
+    Alcotest.test_case "clean snippet" `Quick clean_realistic_snippet;
+    Alcotest.test_case "missing mli on disk" `Quick missing_mli_on_disk;
+    Alcotest.test_case "json report shape" `Quick json_report_shape;
+  ]

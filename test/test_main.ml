@@ -18,4 +18,5 @@ let () =
       ("chunking+lrfu", Test_chunking.suite);
       ("io", Test_io.suite);
       ("window-refine", Test_refine.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -110,6 +110,32 @@ let cosine_similarity_cases () =
     (Vod_util.Stats_acc.cosine_similarity (v [ (1, 1.0) ]) (v [ (2, 1.0) ]));
   check_float "empty" 0.0 (Vod_util.Stats_acc.cosine_similarity (v []) (v [ (1, 1.0) ]))
 
+(* Regression for the stats_acc sort switching from polymorphic
+   [compare] to [Float.compare]: identical results on NaN-free input,
+   and deterministic behavior in the presence of duplicates. *)
+let percentile_nan_free () =
+  let a = [| 5.0; 1.0; 4.0; 2.0; 3.0 |] in
+  check_float "min rank" 1.0 (Vod_util.Stats_acc.percentile 0.0 a);
+  check_float "median" 3.0 (Vod_util.Stats_acc.percentile 0.5 a);
+  check_float "max rank" 5.0 (Vod_util.Stats_acc.percentile 1.0 a);
+  check_float "p25" 2.0 (Vod_util.Stats_acc.percentile 0.25 a);
+  (* The input array must not be mutated by the internal sort. *)
+  Alcotest.(check (array (float 0.0))) "input untouched" [| 5.0; 1.0; 4.0; 2.0; 3.0 |] a
+
+let percentile_duplicates_deterministic () =
+  let a = [| 2.0; 1.0; 2.0; 3.0; 2.0; 1.0 |] in
+  (* sorted: 1 1 2 2 2 3; nearest-rank median index round(0.5*5)=3 *)
+  check_float "median with dups" 2.0 (Vod_util.Stats_acc.percentile 0.5 a);
+  (* Any permutation of the same multiset gives the same percentiles. *)
+  let b = [| 1.0; 2.0; 3.0; 2.0; 1.0; 2.0 |] in
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "permutation-invariant p=%.2f" p)
+        (Vod_util.Stats_acc.percentile p a)
+        (Vod_util.Stats_acc.percentile p b))
+    [ 0.0; 0.2; 0.4; 0.5; 0.6; 0.8; 1.0 ]
+
 let table_render () =
   let s = Vod_util.Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "10"; "20" ] ] in
   Alcotest.(check bool) "contains header" true (String.length s > 0);
@@ -145,6 +171,9 @@ let suite =
     Alcotest.test_case "sampler zero weight" `Quick sampler_zero_weight_never_drawn;
     Alcotest.test_case "stats basics" `Quick stats_basics;
     Alcotest.test_case "cosine similarity" `Quick cosine_similarity_cases;
+    Alcotest.test_case "percentile nan-free values" `Quick percentile_nan_free;
+    Alcotest.test_case "percentile duplicates deterministic" `Quick
+      percentile_duplicates_deterministic;
     Alcotest.test_case "table render" `Quick table_render;
     QCheck_alcotest.to_alcotest prop_sampler_matches_weights;
   ]

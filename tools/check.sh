@@ -1,0 +1,12 @@
+#!/bin/sh
+# Single-command tier-1 + lint gate: build, unit/property tests, vodlint.
+# Run from the repo root (or any subdirectory; dune finds the root).
+set -eu
+
+echo "== dune build =="
+dune build
+echo "== dune runtest =="
+dune runtest
+echo "== dune build @lint =="
+dune build @lint
+echo "== all checks passed =="
