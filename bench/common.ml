@@ -53,6 +53,20 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Run independent playout thunks across the domain pool, results in
+   list order (each element usually a (result, seconds) pair from
+   [timed]). The thunks must not print — the per-fleet playouts write
+   only into their own metrics — so format tables after collecting.
+   The pool is capped at the thunk count; a MIP playout's solver may
+   still open its own inner pool, which is bounded oversubscription,
+   not a correctness issue (results are deterministic per scheme). *)
+let parallel_runs thunks =
+  let arr = Array.of_list thunks in
+  let jobs = min (Vod_util.Pool.default_jobs ()) (max 1 (Array.length arr)) in
+  Vod_util.Pool.with_pool ~jobs (fun pool ->
+      Vod_util.Pool.map pool ~f:(fun f -> f ()) arr)
+  |> Array.to_list
+
 let fmt_gbps mbps = Printf.sprintf "%.2f" (mbps /. 1000.0)
 
 let fmt_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

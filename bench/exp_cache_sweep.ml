@@ -7,18 +7,26 @@ let run (sc : Vod_core.Scenario.t) =
   Common.section "Fig. 12 — complementary cache sweep (MIP + x% LRU)";
   let link_mbps = Common.calibrate_link_capacity sc ~disk_multiple:2.0 in
   let fracs = [ 0.0; 0.05; 0.10; 0.20 ] in
+  (* Per-fraction playouts are independent fleets: fan them out across
+     the pool, then format sequentially from the ordered results. *)
+  let runs =
+    Common.parallel_runs
+      (List.map
+         (fun frac () ->
+           let cfg = Common.pipeline_config ~disk_multiple:2.0 ~link_capacity_mbps:link_mbps sc in
+           (* One placement update, a 2-week horizon: solve on week 1,
+              play week 2 — enough to expose the cache's effect on
+              estimation error, at a fraction of the full-month cost. *)
+           let mip =
+             { Common.mip_config with Vod_core.Pipeline.cache_frac = frac; update_days = 14 }
+           in
+           let cfg = { cfg with Vod_core.Pipeline.warmup_days = 7 } in
+           Common.timed (fun () -> Vod_core.Pipeline.run cfg (Vod_core.Pipeline.Mip mip)))
+         fracs)
+  in
   let rows =
-    List.map
-      (fun frac ->
-        let cfg = Common.pipeline_config ~disk_multiple:2.0 ~link_capacity_mbps:link_mbps sc in
-        (* One placement update, a 2-week horizon: solve on week 1, play
-           week 2 — enough to expose the cache's effect on estimation
-           error, at a fraction of the full-month cost. *)
-        let mip =
-          { Common.mip_config with Vod_core.Pipeline.cache_frac = frac; update_days = 14 }
-        in
-        let cfg = { cfg with Vod_core.Pipeline.warmup_days = 7 } in
-        let r, dt = Common.timed (fun () -> Vod_core.Pipeline.run cfg (Vod_core.Pipeline.Mip mip)) in
+    List.map2
+      (fun frac (r, dt) ->
         let m = r.Vod_core.Pipeline.metrics in
         Common.note "  cache %.0f%%: %.1fs" (100.0 *. frac) dt;
         [
@@ -28,7 +36,7 @@ let run (sc : Vod_core.Scenario.t) =
           Printf.sprintf "%.0f" m.Vod_sim.Metrics.total_gb_hops;
           Common.fmt_pct (Vod_sim.Metrics.local_fraction m);
         ])
-      fracs
+      fracs runs
   in
   Vod_util.Table.print
     ~header:

@@ -9,9 +9,16 @@ let run (sc : Vod_core.Scenario.t) =
   let one_setting mult =
     let link_mbps = Common.calibrate_link_capacity sc ~disk_multiple:mult in
     let cfg = Common.pipeline_config ~disk_multiple:mult ~link_capacity_mbps:link_mbps sc in
-    let mip = Vod_core.Pipeline.run cfg (Vod_core.Pipeline.Mip Common.mip_config) in
-    let lru = Vod_core.Pipeline.run cfg (Vod_core.Pipeline.Origin_lru 4) in
-    (mult, mip, lru)
+    (* The two fleets of one setting play out concurrently. *)
+    match
+      Common.parallel_runs
+        [
+          (fun () -> Vod_core.Pipeline.run cfg (Vod_core.Pipeline.Mip Common.mip_config));
+          (fun () -> Vod_core.Pipeline.run cfg (Vod_core.Pipeline.Origin_lru 4));
+        ]
+    with
+    | [ mip; lru ] -> (mult, mip, lru)
+    | _ -> invalid_arg "exp_origin: parallel_runs arity"
   in
   let settings = List.map one_setting [ 2.0; 6.0 ] in
   let row name f =

@@ -27,8 +27,25 @@ let available =
     ("micro", "bechamel kernel micro-benchmarks");
   ]
 
+(* Extract --jobs N / --jobs=N from the argument list; returns the
+   remaining (experiment-id) arguments and sets the process-wide pool
+   default. 0 keeps the default (number of cores). *)
+let parse_jobs args =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest ->
+        Vod_util.Pool.set_default_jobs (int_of_string n);
+        go acc rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        Vod_util.Pool.set_default_jobs
+          (int_of_string (String.sub a 7 (String.length a - 7)));
+        go acc rest
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
   let wants name =
     match args with
     | [] -> true
@@ -40,11 +57,13 @@ let () =
           args
   in
   if List.mem "--help" args || List.mem "-h" args then begin
-    print_endline "usage: main.exe [experiment ...]   (default: all)";
+    print_endline "usage: main.exe [--jobs N] [experiment ...]   (default: all)";
+    print_endline "  --jobs N  worker domains for parallel phases (0 = number of cores)";
     List.iter (fun (n, d) -> Printf.printf "  %-8s %s\n" n d) available;
     exit 0
   end;
-  Common.note "VOD_SCALE=%s | library %d videos | %d days | %.0f req/video/day"
+  Common.note "jobs=%d | VOD_SCALE=%s | library %d videos | %d days | %.0f req/video/day"
+    (Vod_util.Pool.default_jobs ())
     (match Common.scale with
     | Common.Quick -> "quick"
     | Common.Default -> "default"

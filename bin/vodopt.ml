@@ -9,9 +9,10 @@
 
 open Cmdliner
 
-let setup_logs verbose =
+let setup_logs verbose jobs =
   Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
+  Vod_util.Pool.set_default_jobs jobs
 
 (* Common options *)
 
@@ -44,6 +45,14 @@ let passes_t =
   Arg.(value & opt int 50 & info [ "passes" ] ~docv:"P" ~doc:"Max EPF passes.")
 
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let jobs_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel phases (0 = number of cores). Results are identical at any job count for a fixed --seed.")
 
 let topology_t =
   let topologies = [ "backbone"; "tiscali"; "sprint"; "ebone" ] in
@@ -98,22 +107,19 @@ let scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed ()
   match trace_file with
   | None -> sc
   | Some path ->
+      (* ~n_videos makes the loader reject out-of-catalog ids with a
+         line-numbered error instead of a post-hoc scan. *)
       let trace =
-        Vod_workload.Trace_io.load_csv
+        Vod_workload.Trace_io.load_csv ~n_videos:videos
           ~n_vhos:(Vod_topology.Graph.n_nodes graph)
           ~days path
       in
-      Vod_workload.Trace.iter
-        (fun r ->
-          if r.Vod_workload.Trace.video < 0 || r.Vod_workload.Trace.video >= videos
-          then failwith "trace references a video outside the catalog; raise --videos")
-        trace;
       { sc with Vod_core.Scenario.trace }
 
 (* ---- stats ---- *)
 
-let stats topology topology_file trace_file trace_out videos days rpv seed verbose =
-  setup_logs verbose;
+let stats topology topology_file trace_file trace_out videos days rpv seed verbose jobs =
+  setup_logs verbose jobs;
   let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
   Option.iter
     (fun path ->
@@ -149,8 +155,8 @@ let stats topology topology_file trace_file trace_out videos days rpv seed verbo
 (* ---- solve ---- *)
 
 let solve topology topology_file trace_file placement_out videos days rpv seed disk
-    link passes verbose =
-  setup_logs verbose;
+    link passes verbose jobs =
+  setup_logs verbose jobs;
   let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
   let demand = Vod_core.Scenario.demand_of_week sc ~day0:0 () in
   let inst =
@@ -192,8 +198,8 @@ let scheme_t =
     & info [ "scheme" ] ~docv:"S" ~doc:"Scheme: mip, lru, lfu, topk, origin.")
 
 let simulate topology topology_file trace_file videos days rpv seed disk link passes
-    scheme verbose =
-  setup_logs verbose;
+    scheme verbose jobs =
+  setup_logs verbose jobs;
   let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
   let cfg =
     Vod_core.Pipeline.default_config ~scenario:sc
@@ -231,8 +237,8 @@ let simulate topology topology_file trace_file videos days rpv seed disk link pa
 
 (* ---- sweep ---- *)
 
-let sweep topology topology_file videos days rpv seed link verbose =
-  setup_logs verbose;
+let sweep topology topology_file videos days rpv seed link verbose jobs =
+  setup_logs verbose jobs;
   let sc = scenario_of ?topology_file ~topology ~videos ~days ~rpv ~seed () in
   let demand = Vod_core.Scenario.demand_of_week sc ~day0:0 () in
   let graph = sc.Vod_core.Scenario.graph in
@@ -259,25 +265,27 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Trace analytics (working set, request-mix similarity)")
     Term.(
       const stats $ topology_t $ topology_file_t $ trace_file_t $ trace_out_t
-      $ videos_t $ days_t $ rpv_t $ seed_t $ verbose_t)
+      $ videos_t $ days_t $ rpv_t $ seed_t $ verbose_t $ jobs_t)
 
 let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Solve one placement instance")
     Term.(
       const solve $ topology_t $ topology_file_t $ trace_file_t $ placement_out_t
-      $ videos_t $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ verbose_t)
+      $ videos_t $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ verbose_t
+      $ jobs_t)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Replay the trace against a distribution scheme")
     Term.(
       const simulate $ topology_t $ topology_file_t $ trace_file_t $ videos_t
-      $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ scheme_t $ verbose_t)
+      $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ scheme_t $ verbose_t
+      $ jobs_t)
 
 let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Feasibility sweep: min disk per link capacity")
     Term.(
       const sweep $ topology_t $ topology_file_t $ videos_t $ days_t $ rpv_t
-      $ seed_t $ link_t $ verbose_t)
+      $ seed_t $ link_t $ verbose_t $ jobs_t)
 
 let () =
   let info =

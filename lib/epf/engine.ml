@@ -46,6 +46,8 @@ type params = {
   shuffle : bool;            (* fresh random block order each pass; the
                                 paper reports 40x fewer passes vs fixed *)
   polish_passes : int;       (* post-rounding integer improvement sweeps *)
+  jobs : int;                (* domain-pool width for the parallel phases;
+                                0 = the process default (--jobs / hardware) *)
 }
 
 let default_params =
@@ -59,6 +61,7 @@ let default_params =
     line_search_iters = 24;
     shuffle = true;
     polish_passes = 2;
+    jobs = 0;
   }
 
 type 'a outcome = {
@@ -108,6 +111,7 @@ type 'a state = {
   mutable smoothed_obj : float;
   rng : Vod_util.Rng.t;
   scratch : float array;           (* per-pass buffer for pi-bar / pi-bar_0 *)
+  pool : Vod_util.Pool.t;          (* domain pool for the block-parallel phases *)
 }
 
 let n_rows st = Array.length st.capacities
@@ -268,11 +272,16 @@ let try_duals st ?(mult = 1.0) duals duals_obj =
     for i = 0 to m - 1 do
       st.scratch.(i) <- mult *. duals.(i) /. duals_obj
     done;
-    let sum = ref 0.0 in
-    Array.iter
-      (fun (oracle : _ oracle) ->
-        sum := !sum +. oracle.lower_bound ~row_price:st.scratch)
-      st.oracles;
+    (* The per-block bounds are independent given the (now frozen)
+       multiplier vector, so this sweep fans out across the pool; the
+       sum is folded in block order in the submitting domain, keeping
+       the float rounding — hence the reported bound — bit-identical
+       at any job count. *)
+    let sum = ref
+      (Vod_util.Pool.map_reduce st.pool ~n:(Array.length st.oracles)
+         ~map:(fun k -> st.oracles.(k).lower_bound ~row_price:st.scratch)
+         ~init:0.0 ~combine:( +. ))
+    in
     for i = 0 to m - 1 do
       sum := !sum -. (st.scratch.(i) *. st.capacities.(i))
     done;
@@ -333,14 +342,21 @@ let update_smoothed st =
   done;
   st.smoothed_obj <- (rho *. st.smoothed_obj) +. ((1.0 -. rho) *. st.price_obj)
 
-let init (p : params) ~capacities ~oracles =
+let init (p : params) ~pool ~capacities ~oracles =
   Array.iter
     (fun b -> if b <= 0.0 then invalid_arg "Engine: capacities must be positive")
     capacities;
   if Array.length oracles = 0 then invalid_arg "Engine: no blocks";
   let m = Array.length capacities in
   let zero_prices = Array.make m 0.0 in
-  let combos = Array.map (fun oracle -> [ (oracle.initial (), 1.0) ]) oracles in
+  (* Initial points are independent per block (each is a UFL solve under
+     the same warm-start prices), so construct them in parallel; the
+     result array is in block order by the pool contract. *)
+  let combos =
+    Vod_util.Pool.map pool
+      ~f:(fun (oracle : _ oracle) -> [ (oracle.initial (), 1.0) ])
+      oracles
+  in
   let st =
     {
       p;
@@ -365,6 +381,7 @@ let init (p : params) ~capacities ~oracles =
       smoothed_obj = 0.0;
       rng = Vod_util.Rng.create p.seed;
       scratch = Array.make m 0.0;
+      pool;
     }
   in
   recompute st;
@@ -375,11 +392,10 @@ let init (p : params) ~capacities ~oracles =
   (* Initial lower bound: all multipliers zero relaxes every coupling
      constraint, so the sum of unpriced block minima is valid. *)
   if not p.feasibility_only then begin
-    let sum = ref 0.0 in
-    Array.iter
-      (fun (oracle : _ oracle) -> sum := !sum +. oracle.lower_bound ~row_price:zero_prices)
-      oracles;
-    st.lb <- !sum;
+    st.lb <-
+      Vod_util.Pool.map_reduce pool ~n:(Array.length oracles)
+        ~map:(fun k -> oracles.(k).lower_bound ~row_price:zero_prices)
+        ~init:0.0 ~combine:( +. );
     st.b_target <- Float.max st.lb st.scale
   end;
   st.delta <- Float.max (max_coupling_infeas st) p.epsilon;
@@ -391,7 +407,17 @@ let init (p : params) ~capacities ~oracles =
 
 (* One full pass over all blocks in a fresh random order (the paper found
    reshuffling each pass cuts the pass count by 40x versus a fixed
-   order). *)
+   order).
+
+   This pass is deliberately NOT parallelized: it is a Gauss-Seidel
+   sweep, in which each block's oracle call prices in the usage shifts
+   of every block stepped before it in this same pass. That immediate
+   feedback is what makes a handful of passes suffice (a Jacobi-style
+   variant — all oracle calls at frozen prices, then merge — needs far
+   more passes and oscillates on tight rows, negating the parallel
+   win). The parallel phases are the ones that are price-frozen by
+   construction: initial-point construction, the Lagrangian
+   lower-bound sweeps, and the rounding/polish candidate oracles. *)
 let run_pass st =
   let n = Array.length st.oracles in
   let order =
@@ -465,13 +491,40 @@ let round_pass ?(only_fractional = true) st =
       m "round: alpha=%.1f delta=%.4f price_obj=%.4g b_target=%.6g obj=%.6g"
         st.alpha st.delta st.price_obj st.b_target st.objective);
   let order = Vod_util.Rng.permutation st.rng (Array.length st.oracles) in
+  (* The fresh [optimize_strong] candidates — the expensive part of
+     rounding — are computed for every block this pass will consider,
+     in parallel, at the pass-entry prices. The snap loop itself stays
+     sequential: each snap's merit is the exact potential change under
+     the *live* row usage, so blocks still see earlier snaps' load
+     shifts and cannot jointly overflow a row. Freezing the candidate
+     prices (rather than re-pricing per snap) is what makes the result
+     independent of the job count; the combo points, each a block
+     optimum from some earlier pass, still anchor the candidate set. *)
+  let wants_fresh k =
+    match st.combos.(k) with [] | [ _ ] -> not only_fractional | _ -> true
+  in
+  let considered =
+    let acc = ref [] in
+    for k = Array.length st.oracles - 1 downto 0 do
+      if wants_fresh k then acc := k :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let fresh_of = Array.make (Array.length st.oracles) None in
+  let fresh_pts =
+    Vod_util.Pool.map st.pool
+      ~f:(fun k ->
+        st.oracles.(k).optimize_strong ~obj_price:st.price_obj
+          ~row_price:st.prices)
+      considered
+  in
+  Array.iteri (fun i k -> fresh_of.(k) <- Some fresh_pts.(i)) considered;
   Array.iter
     (fun k ->
       let consider combo =
-        let fresh =
-          st.oracles.(k).optimize_strong ~obj_price:st.price_obj
-            ~row_price:st.prices
-        in
+        (* [wants_fresh k] held when the candidates were precomputed,
+           so the slot is filled. *)
+        let fresh = Option.get fresh_of.(k) in
         let best, best_m =
           List.fold_left
             (fun (bp, bm) (pt, _) ->
@@ -522,7 +575,10 @@ let outcome_of_state st ~passes ~pre_round_objective ~pre_round_violation ~histo
   }
 
 let solve ?(round = true) (p : params) ~capacities ~oracles =
-  let st = init p ~capacities ~oracles in
+  (* One pool for the whole solve; workers park between parallel
+     phases, so the sequential Gauss-Seidel passes pay nothing for it. *)
+  Vod_util.Pool.with_pool ~jobs:p.jobs (fun pool ->
+  let st = init p ~pool ~capacities ~oracles in
   let passes = ref 0 in
   let stop = ref false in
   (* Plateau detection: once epsilon-feasible, keep squeezing the
@@ -584,4 +640,4 @@ let solve ?(round = true) (p : params) ~capacities ~oracles =
     polish st
   end;
   outcome_of_state st ~passes:!passes ~pre_round_objective ~pre_round_violation
-    ~history:(Array.of_list (List.rev !history))
+    ~history:(Array.of_list (List.rev !history)))

@@ -41,10 +41,19 @@ type params = {
   polish_passes : int;
       (** post-rounding sweeps in which any block may snap to a fresh
           oracle point that strictly decreases the potential *)
+  jobs : int;
+      (** width of the domain pool used for the block-parallel phases
+          (initial points, Lagrangian lower-bound sweeps, rounding /
+          polish candidate oracles); [0] = the process default
+          ({!Vod_util.Pool.default_jobs}). The price-update passes stay
+          sequential (Gauss-Seidel). Every result — objective, lower
+          bound, violation, rounded placement — is bit-identical at any
+          job count for a fixed [seed]. *)
 }
 
 (** epsilon = 0.01, gamma = 1, rho = 0.5, 60 passes, 24 line-search
-    iterations, shuffling on, 2 polish passes. *)
+    iterations, shuffling on, 2 polish passes, jobs = 0 (process
+    default). *)
 val default_params : params
 
 type 'a outcome = {

@@ -510,6 +510,52 @@ let rule_unguarded_div =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Rule: domain-spawn                                                  *)
+(* All parallelism goes through the pool. A stray [Domain.spawn]       *)
+(* elsewhere escapes the pool's determinism contract (ordered merges,  *)
+(* task-indexed RNG streams, lowest-index failure) and its exception   *)
+(* accounting, so seeded runs stop being reproducible across job       *)
+(* counts.                                                             *)
+
+let pool_source = "lib/util/pool.ml"
+
+let path_is_pool path =
+  let np = String.length path and ns = String.length pool_source in
+  path = pool_source
+  || (np > ns
+      && String.sub path (np - ns) ns = pool_source
+      && path.[np - ns - 1] = '/')
+
+let rule_domain_spawn =
+  let id = "domain-spawn" in
+  let check ctx ast =
+    if path_is_pool ctx.path then []
+    else begin
+      let out = ref [] in
+      let expr self e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ }
+          when (let n = lid_name txt in
+                n = "Domain.spawn" || n = "Stdlib.Domain.spawn") ->
+            out :=
+              Diagnostic.make ~file:ctx.path ~loc:e.pexp_loc ~rule:id
+                "'Domain.spawn' outside lib/util/pool.ml bypasses the pool's determinism and \
+                 exception contract; submit work through Vod_util.Pool"
+              :: !out
+        | _ -> ());
+        Ast_iterator.default_iterator.expr self e
+      in
+      over_ast expr ast;
+      !out
+    end
+  in
+  {
+    id;
+    doc = "no Domain.spawn outside lib/util/pool.ml (all parallelism goes through the pool)";
+    check;
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -521,6 +567,7 @@ let all =
     rule_quadratic_loop;
     rule_missing_mli;
     rule_unguarded_div;
+    rule_domain_spawn;
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all

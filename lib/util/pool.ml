@@ -1,0 +1,208 @@
+(* Fixed-size domain pool. See the .mli for the determinism contract.
+
+   Scheduling: one batch at a time. A batch is a task counter claimed in
+   contiguous chunks by whoever is idle (workers and the submitter
+   alike); chunk claiming only decides *who computes what*, never where
+   results land — per-index result slots make the merge order-free.
+   Workers park on a condition variable between batches, so an idle
+   pool costs nothing while the solver runs its sequential
+   (Gauss-Seidel) phases.
+
+   Exception discipline: a task body is wrapped so it can never unwind
+   the batch accounting. Failures are recorded per index and the
+   lowest-indexed one is re-raised in the submitting domain after the
+   batch drains — the same exception surfaces at any job count. *)
+
+type batch = {
+  run : int -> unit;            (* wrapped task body; never raises *)
+  n : int;
+  chunk : int;
+  next : int Atomic.t;          (* next unclaimed index *)
+  finished : int Atomic.t;      (* tasks fully executed *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;     (* new batch posted, or shutdown *)
+  work_done : Condition.t;      (* batch fully drained *)
+  mutable batch : batch option; (* the in-flight batch, if any *)
+  mutable generation : int;     (* bumped per batch; workers key off it *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let max_jobs = 64
+
+let hardware_jobs () = max 1 (min max_jobs (Domain.recommended_domain_count ()))
+
+let default = Atomic.make 0 (* 0 = follow the hardware *)
+
+let default_jobs () =
+  let j = Atomic.get default in
+  if j = 0 then hardware_jobs () else j
+
+let set_default_jobs j =
+  if j < 0 then invalid_arg "Pool.set_default_jobs: negative job count";
+  Atomic.set default (min j max_jobs)
+
+(* Drain the current batch: claim chunks until none remain. Whoever
+   retires the last task clears the batch and wakes the submitter. *)
+let drain t (b : batch) =
+  let continue = ref true in
+  while !continue do
+    let start = Atomic.fetch_and_add b.next b.chunk in
+    if start >= b.n then continue := false
+    else begin
+      let stop = min (start + b.chunk) b.n in
+      for i = start to stop - 1 do
+        b.run i
+      done;
+      let done_now = stop - start in
+      let total = done_now + Atomic.fetch_and_add b.finished done_now in
+      if total = b.n then begin
+        Mutex.lock t.mutex;
+        t.batch <- None;
+        Condition.broadcast t.work_done;
+        Mutex.unlock t.mutex
+      end
+    end
+  done
+
+let worker_loop t =
+  let seen = ref 0 in
+  let live = ref true in
+  while !live do
+    Mutex.lock t.mutex;
+    while (not t.stopped) && t.generation = !seen do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stopped then begin
+      live := false;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      seen := t.generation;
+      let b = t.batch in
+      Mutex.unlock t.mutex;
+      (* [b] may already be drained and cleared; then there is nothing
+         to claim and we just park again. *)
+      match b with None -> () | Some b -> drain t b
+    end
+  done
+
+let create ?(jobs = 0) () =
+  let jobs = if jobs = 0 then default_jobs () else max 1 (min jobs max_jobs) in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      batch = None;
+      generation = 0;
+      stopped = false;
+      workers = [];
+    }
+  in
+  (* vodlint-disable domain-spawn -- the pool is the one sanctioned spawn site *)
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let ws = t.workers in
+  t.stopped <- true;
+  t.workers <- [];
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ws
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* First-failure slot: (task index, exception, backtrace). The lowest
+   index wins so the surfaced error is independent of scheduling. *)
+type failure = int * exn * Printexc.raw_backtrace
+
+let record_failure (slot : failure option Atomic.t) (f : failure) =
+  let rec go () =
+    let cur = Atomic.get slot in
+    let better = match cur with None -> true | Some (i, _, _) -> let (j, _, _) = f in j < i in
+    if better && not (Atomic.compare_and_set slot cur (Some f)) then go ()
+  in
+  go ()
+
+let run_inline ~n ~f =
+  (* Sequential fallback: same order, same first-failure semantics. *)
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let iteri t ~n ~f =
+  if n > 0 then begin
+    if t.stopped then invalid_arg "Pool.iteri: pool is shut down";
+    let nested =
+      (* Reentrant submission (a task submitting to its own pool) would
+         deadlock the drain accounting; run it inline instead. *)
+      Mutex.lock t.mutex;
+      let busy = Option.is_some t.batch in
+      Mutex.unlock t.mutex;
+      busy
+    in
+    if t.jobs = 1 || n = 1 || nested then run_inline ~n ~f
+    else begin
+      let first_failure : failure option Atomic.t = Atomic.make None in
+      let run i =
+        try f i
+        with e ->
+          record_failure first_failure (i, e, Printexc.get_raw_backtrace ())
+      in
+      (* Chunks small enough to balance uneven tasks, large enough to
+         keep counter traffic negligible. *)
+      let chunk = max 1 (n / (t.jobs * 8)) in
+      let b = { run; n; chunk; next = Atomic.make 0; finished = Atomic.make 0 } in
+      Mutex.lock t.mutex;
+      t.generation <- t.generation + 1;
+      t.batch <- Some b;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      (* The submitter is a worker too. *)
+      drain t b;
+      Mutex.lock t.mutex;
+      while Atomic.get b.finished < b.n do
+        Condition.wait t.work_done t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      match Atomic.get first_failure with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let mapi t ~f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    iteri t ~n ~f:(fun i -> out.(i) <- Some (f i a.(i)));
+    (* Every slot is filled here: iteri re-raises before returning if
+       any task failed, so [Option.get] cannot see [None]. *)
+    Array.map Option.get out
+  end
+
+let map t ~f a = mapi t ~f:(fun _ x -> f x) a
+
+let map_reduce t ~n ~map ~init ~combine =
+  if n = 0 then init
+  else begin
+    let out = Array.make n None in
+    iteri t ~n ~f:(fun i -> out.(i) <- Some (map i));
+    Array.fold_left
+      (fun acc slot ->
+        match slot with Some x -> combine acc x | None -> acc)
+      init out
+  end

@@ -1,0 +1,68 @@
+(** Fixed-size domain pool with deterministic, order-preserving
+    parallel iteration.
+
+    The solver, the trace generator and the benchmark drivers all fan
+    out over mutually independent tasks (per-video UFL blocks, per-day
+    request sampling, per-scheme playouts). This pool runs such task
+    sets across OCaml 5 domains while keeping every observable result
+    {e bit-identical at any job count}:
+
+    - results are written into per-index slots and merged in task
+      order, never in completion order;
+    - randomized tasks take pre-split RNG streams ({!Rng.split_n}),
+      assigned by task index before any task runs;
+    - a raising task never deadlocks the pool: every task completes
+      the batch accounting, all remaining tasks still run, and the
+      exception of the lowest-indexed failing task is re-raised in the
+      submitting domain once the batch has drained.
+
+    A pool holds [jobs - 1] worker domains (the submitting domain
+    works too); [jobs = 1] degrades to plain inline iteration with no
+    domain traffic at all. Pools are not reentrant: a task must not
+    submit to the pool that is running it — nested submissions run
+    inline, sequentially, in the submitting task. *)
+
+type t
+
+(** [create ?jobs ()] spawns a pool of [jobs] workers. [jobs = 0] (the
+    default) uses {!default_jobs}. The count is clamped to
+    [\[1, 64\]]. *)
+val create : ?jobs:int -> unit -> t
+
+(** Number of workers (including the submitting domain). *)
+val jobs : t -> int
+
+(** Process-wide default job count: initially
+    [Domain.recommended_domain_count ()], overridable once from a
+    [--jobs] flag. [set_default_jobs 0] resets to the hardware
+    default; negative values are rejected with [Invalid_argument]. *)
+val default_jobs : unit -> int
+
+val set_default_jobs : int -> unit
+
+(** Terminate the worker domains. Idempotent. Submitting to a
+    shut-down pool raises [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ?jobs f] runs [f] on a fresh pool and shuts it down on
+    every exit path. *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+
+(** [iteri t ~n ~f] runs [f 0 .. f (n-1)], distributed over the pool
+    in contiguous chunks. [f] must not depend on execution order. *)
+val iteri : t -> n:int -> f:(int -> unit) -> unit
+
+(** [map t ~f a] is [Array.map f a] with [f] applied in parallel;
+    the result array is in input order regardless of scheduling. *)
+val map : t -> f:('a -> 'b) -> 'a array -> 'b array
+
+(** [mapi t ~f a] is [Array.mapi f a], parallel, order-preserving. *)
+val mapi : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [map_reduce t ~n ~map ~init ~combine] computes
+    [combine (... (combine init (map 0)) ...) (map (n-1))]: the [map]
+    calls run in parallel, the [combine] fold runs sequentially in
+    task order in the submitting domain — so non-associative
+    combines (float sums) are deterministic at any job count. *)
+val map_reduce :
+  t -> n:int -> map:(int -> 'a) -> init:'b -> combine:('b -> 'a -> 'b) -> 'b

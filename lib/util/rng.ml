@@ -21,6 +21,15 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+(* [n] independent streams split off in index order — the parallel
+   layer's per-task seeds. An explicit loop (not [Array.init]) because
+   the split order must be the task order regardless of evaluation
+   order. *)
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: n must be nonnegative";
+  let rec go acc i = if i = 0 then List.rev acc else go (split t :: acc) (i - 1) in
+  Array.of_list (go [] n)
+
 (* Uniform float in [0, 1). Uses the top 53 bits of the 64-bit state. *)
 let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

@@ -16,6 +16,11 @@ val copy : t -> t
     generator; useful to give each subsystem its own stream. *)
 val split : t -> t
 
+(** [split_n t n] splits off [n] independent streams in index order —
+    one per parallel task, so seeded runs are reproducible at any job
+    count. Raises [Invalid_argument] on negative [n]. *)
+val split_n : t -> int -> t array
+
 (** Uniform float in [0, 1). *)
 val float : t -> float
 

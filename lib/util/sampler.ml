@@ -11,8 +11,15 @@ type t = {
 let create weights =
   let n = Array.length weights in
   if n = 0 then invalid_arg "Sampler.create: empty weight vector";
+  (* Non-finite weights must be rejected up front: an [infinity] makes
+     [total] infinite and every [scaled] entry NaN, which silently
+     corrupts the alias table (NaN fails every [< 1.0] test, so all
+     buckets land in [large] with garbage thresholds). *)
   Array.iter
-    (fun w -> if w < 0.0 || Float.is_nan w then invalid_arg "Sampler.create: negative weight")
+    (fun w ->
+      if not (Float.is_finite w) then
+        invalid_arg "Sampler.create: non-finite weight"
+      else if w < 0.0 then invalid_arg "Sampler.create: negative weight")
     weights;
   let total = Array.fold_left ( +. ) 0.0 weights in
   if total <= 0.0 then invalid_arg "Sampler.create: weights must sum to > 0";

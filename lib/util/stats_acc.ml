@@ -5,9 +5,14 @@ let mean a =
   let n = Array.length a in
   if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
 
-let max_elt a = Array.fold_left Float.max neg_infinity a
+(* Empty arrays yield 0.0, not +/-infinity: these feed report tables
+   and bench JSON, where a fold identity leaking out of a zero-bin or
+   zero-link playout poisons every downstream aggregate. *)
+let max_elt a =
+  if Array.length a = 0 then 0.0 else Array.fold_left Float.max neg_infinity a
 
-let min_elt a = Array.fold_left Float.min infinity a
+let min_elt a =
+  if Array.length a = 0 then 0.0 else Array.fold_left Float.min infinity a
 
 let sum a = Array.fold_left ( +. ) 0.0 a
 

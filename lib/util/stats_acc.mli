@@ -4,10 +4,12 @@
 (** Arithmetic mean; 0 on an empty array. *)
 val mean : float array -> float
 
-(** Maximum element ([neg_infinity] on empty). *)
+(** Maximum element. Returns [0.0] on an empty array — callers report
+    these values in tables/JSON, where a [-infinity] fold identity
+    poisons downstream aggregates; an idle playout reads as 0 load. *)
 val max_elt : float array -> float
 
-(** Minimum element ([infinity] on empty). *)
+(** Minimum element; [0.0] on an empty array (see {!max_elt}). *)
 val min_elt : float array -> float
 
 (** Sum of elements. *)

@@ -35,7 +35,20 @@ let parse_line ~lineno line =
         invalid_arg (Printf.sprintf "Trace_io.load_csv: bad record on line %d" lineno))
   | _ -> invalid_arg (Printf.sprintf "Trace_io.load_csv: bad record on line %d" lineno)
 
-let load_csv ~n_vhos ~days path =
+(* Per-record video-id bound. [Trace.create] validates vho and time but
+   knows nothing about the catalog, so without this check a stale or
+   hand-edited CSV only blows up deep inside playout with an
+   array-bounds exception; here it is a line-numbered parse error. *)
+let check_video ~lineno ~n_videos (r : Trace.request) =
+  match n_videos with
+  | Some n when r.Trace.video < 0 || r.Trace.video >= n ->
+      invalid_arg
+        (Printf.sprintf
+           "Trace_io.load_csv: video id %d out of range [0, %d) on line %d"
+           r.Trace.video n lineno)
+  | Some _ | None -> r
+
+let load_csv ?n_videos ~n_vhos ~days path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -48,7 +61,10 @@ let load_csv ~n_vhos ~days path =
            let line = input_line ic in
            let trimmed = String.trim line in
            if trimmed <> "" && not (!lineno = 1 && trimmed = header) then
-             requests := parse_line ~lineno:!lineno trimmed :: !requests
+             requests :=
+               check_video ~lineno:!lineno ~n_videos
+                 (parse_line ~lineno:!lineno trimmed)
+               :: !requests
          done
        with End_of_file -> ());
       Trace.create ~n_vhos ~days (Array.of_list !requests))

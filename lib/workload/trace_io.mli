@@ -9,6 +9,8 @@ val header : string
 val save_csv : Trace.t -> string -> unit
 
 (** Load and validate a trace. Raises [Invalid_argument] on malformed
-    records (with the line number) or on out-of-range VHO ids / times
-    (via {!Trace.create}); raises [Sys_error] if the file is unreadable. *)
-val load_csv : n_vhos:int -> days:int -> string -> Trace.t
+    records (with the line number), on a video id outside
+    [\[0, n_videos)] when the bound is given (also line-numbered), or
+    on out-of-range VHO ids / times (via {!Trace.create}); raises
+    [Sys_error] if the file is unreadable. *)
+val load_csv : ?n_videos:int -> n_vhos:int -> days:int -> string -> Trace.t

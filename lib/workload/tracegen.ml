@@ -41,11 +41,18 @@ let poisson rng lambda =
     max 0 (int_of_float (Float.round x))
   end
 
-let generate (p : params) =
+(* Days are mutually independent given their RNG stream, so generation
+   fans out across the domain pool one task per day. Determinism: the
+   master generator is split into per-day streams *in day order before
+   any task runs* (Rng.split_n), each day samples only from its own
+   stream into its own slot, and the slots are concatenated in day
+   order — so the trace is bit-identical at any job count. *)
+let generate ?(jobs = 0) (p : params) =
   let n_vhos = Array.length p.populations in
   if n_vhos = 0 then invalid_arg "Tracegen.generate: no VHOs";
   let days = p.catalog.Catalog.trace_days in
   let rng = Vod_util.Rng.create p.seed in
+  let day_rngs = Vod_util.Rng.split_n rng days in
   let vho_sampler = Vod_util.Sampler.create p.populations in
   let hour_sampler = Vod_util.Sampler.create Profiles.hour_of_day_weight in
   let day_weight_sum = ref 0.0 in
@@ -53,9 +60,7 @@ let generate (p : params) =
     day_weight_sum := !day_weight_sum +. Profiles.day_weight d
   done;
   let day_scale = float_of_int days /. !day_weight_sum in
-  let requests = ref [] in
   let videos = p.catalog.Catalog.videos in
-  let weights = Array.make (Array.length videos) 0.0 in
   let taste_accept_bound = 1.0 +. p.taste_spread in
   (* Episodes of one series share a regional audience: key their taste
      multiplier by the series, not the episode — this is what makes the
@@ -68,11 +73,17 @@ let generate (p : params) =
         | Video.Regular | Video.Music_video | Video.Blockbuster -> v.Video.id)
       videos
   in
-  for day = 0 to days - 1 do
-    Array.iteri (fun i v -> weights.(i) <- Profiles.video_day_weight v ~day) videos;
+  (* One request batch per day; samplers over per-day weights are built
+     inside the task (they are day-local state). *)
+  let generate_day day =
+    let rng = day_rngs.(day) in
+    let weights =
+      Array.map (fun v -> Profiles.video_day_weight v ~day) videos
+    in
     let video_sampler = Vod_util.Sampler.create weights in
     let lambda = p.mean_daily_requests *. Profiles.day_weight day *. day_scale in
     let count = poisson rng lambda in
+    let requests = ref [] in
     for _ = 1 to count do
       let video = Vod_util.Sampler.draw video_sampler rng in
       (* Rejection-sample the VHO against the taste multiplier so that
@@ -95,6 +106,12 @@ let generate (p : params) =
         +. sec_in_hour
       in
       requests := { Trace.time_s; vho; video } :: !requests
-    done
-  done;
-  Trace.create ~n_vhos ~days (Array.of_list !requests)
+    done;
+    Array.of_list !requests
+  in
+  let per_day =
+    Vod_util.Pool.with_pool ~jobs (fun pool ->
+        Vod_util.Pool.map pool ~f:generate_day
+          (Array.init days (fun d -> d)))
+  in
+  Trace.create ~n_vhos ~days (Array.concat (Array.to_list per_day))

@@ -24,5 +24,10 @@ val default_params :
     exposed for tests. *)
 val poisson : Vod_util.Rng.t -> float -> int
 
-(** Generate the full trace, deterministically from [params.seed]. *)
-val generate : params -> Trace.t
+(** Generate the full trace, deterministically from [params.seed].
+    Days are generated in parallel on a [jobs]-worker domain pool
+    ([0] = the process default, see {!Vod_util.Pool.default_jobs});
+    each day draws from its own split RNG stream and batches are
+    concatenated in day order, so the result is bit-identical at any
+    job count. *)
+val generate : ?jobs:int -> params -> Trace.t

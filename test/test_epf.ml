@@ -199,6 +199,39 @@ let row_usage_consistent () =
     outcome.E.combos;
   check_float 1e-6 "aggregate usage" usage.(0) outcome.E.row_usage.(0)
 
+let jobs_bit_identical () =
+  (* The determinism contract of the parallel layer: for a fixed seed,
+     every observable of the solve — objective, lower bound, violation,
+     the rounded per-block choices — is bit-identical at any job count. *)
+  let solve jobs =
+    let oracles, _ = shared_row_blocks 8 4.0 in
+    E.solve ~round:true
+      { E.default_params with E.max_passes = 80; seed = 11; jobs }
+      ~capacities:[| 4.0 |] ~oracles
+  in
+  let base = solve 1 in
+  List.iter
+    (fun jobs ->
+      let o = solve jobs in
+      let tag s = Printf.sprintf "%s at jobs=%d" s jobs in
+      check_float 0.0 (tag "objective") base.E.objective o.E.objective;
+      check_float 0.0 (tag "lower bound") base.E.lower_bound o.E.lower_bound;
+      check_float 0.0 (tag "violation") base.E.max_violation o.E.max_violation;
+      check_float 0.0 (tag "pre-round objective") base.E.pre_round_objective
+        o.E.pre_round_objective;
+      Alcotest.(check int) (tag "passes") base.E.passes o.E.passes;
+      Alcotest.(check (array (float 0.0)))
+        (tag "row usage") base.E.row_usage o.E.row_usage;
+      (* Rounded placement: every block snapped to the same point. *)
+      Array.iteri
+        (fun k combo ->
+          match (combo, o.E.combos.(k)) with
+          | [ (p, _) ], [ (q, _) ] ->
+              Alcotest.(check int) (tag "rounded choice") p.E.data q.E.data
+          | _ -> Alcotest.fail "rounded combos not singletons")
+        base.E.combos)
+    [ 2; 4 ]
+
 let validation () =
   let oracles, _ = shared_row_blocks 2 1.0 in
   Alcotest.check_raises "bad capacity"
@@ -283,6 +316,7 @@ let suite =
     Alcotest.test_case "rounding integrality" `Quick rounding_integrality;
     Alcotest.test_case "combos convex" `Quick combos_are_convex;
     Alcotest.test_case "row usage consistent" `Quick row_usage_consistent;
+    Alcotest.test_case "jobs bit-identical" `Quick jobs_bit_identical;
     Alcotest.test_case "validation" `Quick validation;
     QCheck_alcotest.to_alcotest prop_engine_vs_simplex;
   ]

@@ -28,6 +28,26 @@ let trace_roundtrip () =
         (Float.abs (r.Vod_workload.Trace.time_s -. l.Vod_workload.Trace.time_s) < 0.002))
     trace.Vod_workload.Trace.requests
 
+let trace_load_checks_video_bound () =
+  let path = tmp "vodopt_trace_oob.csv" in
+  let oc = open_out path in
+  output_string oc "time_s,vho,video\n1.0,0,0\n2.0,1,7\n3.0,0,1\n";
+  close_out oc;
+  (* Without ~n_videos the loader accepts any nonnegative id (the
+     historical behavior callers may rely on for foreign traces). *)
+  let unbounded = Vod_workload.Trace_io.load_csv ~n_vhos:2 ~days:1 path in
+  Alcotest.(check int) "unbounded load" 3 (Vod_workload.Trace.length unbounded);
+  (* With a catalog bound, the out-of-range record is rejected with its
+     line number. *)
+  Alcotest.check_raises "out-of-range video"
+    (Invalid_argument "Trace_io.load_csv: video id 7 out of range [0, 5) on line 3")
+    (fun () ->
+      ignore (Vod_workload.Trace_io.load_csv ~n_videos:5 ~n_vhos:2 ~days:1 path));
+  (* A bound that covers every id loads cleanly. *)
+  let bounded = Vod_workload.Trace_io.load_csv ~n_videos:8 ~n_vhos:2 ~days:1 path in
+  Alcotest.(check int) "bounded load" 3 (Vod_workload.Trace.length bounded);
+  Sys.remove path
+
 let trace_load_rejects_garbage () =
   let path = tmp "vodopt_trace_bad.csv" in
   let oc = open_out path in
@@ -125,6 +145,7 @@ let suite =
   [
     Alcotest.test_case "trace roundtrip" `Quick trace_roundtrip;
     Alcotest.test_case "trace rejects garbage" `Quick trace_load_rejects_garbage;
+    Alcotest.test_case "trace video bound" `Quick trace_load_checks_video_bound;
     Alcotest.test_case "solution roundtrip" `Quick solution_roundtrip;
     Alcotest.test_case "solution requires copies" `Quick solution_load_requires_copies;
     Alcotest.test_case "edge list loading" `Quick edge_list_loading;

@@ -64,6 +64,11 @@ let ud_good_guard = "let f a b = if b > 0.0 then a /. b else 0.0"
 let ud_good_eps = "let f a ~eps = a /. eps"
 let ud_good_match_guard = "let f a = function Some b when b > 0.0 -> a /. b | _ -> 0.0"
 
+(* --- domain-spawn ------------------------------------------------- *)
+
+let ds_bad = "let f g = Domain.spawn g"
+let ds_good = "let f pool a = Vod_util.Pool.map pool ~f:succ a"
+
 (* --- suppression -------------------------------------------------- *)
 
 let sup_same_line = "let f t k = Hashtbl.find t k (* vodlint-disable hashtbl-find *)"
@@ -187,6 +192,16 @@ let suite =
       (check_quiet "unguarded-div" ~path:"lib/lp/f.ml" ud_good_eps);
     Alcotest.test_case "unguarded-div quiet under when guard" `Quick
       (check_quiet "unguarded-div" ~path:"lib/lp/f.ml" ud_good_match_guard);
+    Alcotest.test_case "domain-spawn fires outside the pool" `Quick
+      (check_fires "domain-spawn" ds_bad);
+    Alcotest.test_case "domain-spawn fires in bin too" `Quick
+      (check_fires "domain-spawn" ~path:"bin/tool.ml" ds_bad);
+    Alcotest.test_case "domain-spawn quiet in the pool module" `Quick
+      (check_quiet "domain-spawn" ~path:"lib/util/pool.ml" ds_bad);
+    Alcotest.test_case "domain-spawn quiet with ./ prefix" `Quick
+      (check_quiet "domain-spawn" ~path:"./lib/util/pool.ml" ds_bad);
+    Alcotest.test_case "domain-spawn quiet on pool use" `Quick
+      (check_quiet "domain-spawn" ds_good);
     Alcotest.test_case "suppression comments" `Quick suppression_cases;
     Alcotest.test_case "parse error reported" `Quick parse_error_reported;
     Alcotest.test_case "path scoping" `Quick scoped_rules_respect_path;

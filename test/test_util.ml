@@ -37,6 +37,25 @@ let rng_permutation_valid () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
 
+let rng_split_n_ordered () =
+  (* split_n must produce the same streams, in the same order, as n
+     sequential split calls — this is what task-indexed RNG assignment
+     in the pool relies on. *)
+  let a = Vod_util.Rng.split_n (Vod_util.Rng.create 42) 5 in
+  let r = Vod_util.Rng.create 42 in
+  for i = 0 to 4 do
+    let s = Vod_util.Rng.split r in
+    check_float
+      (Printf.sprintf "stream %d" i)
+      (Vod_util.Rng.float s)
+      (Vod_util.Rng.float a.(i))
+  done;
+  Alcotest.(check int) "zero streams" 0
+    (Array.length (Vod_util.Rng.split_n (Vod_util.Rng.create 1) 0));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Rng.split_n: n must be nonnegative") (fun () ->
+      ignore (Vod_util.Rng.split_n (Vod_util.Rng.create 1) (-1)))
+
 let rng_exponential_mean () =
   let rng = Vod_util.Rng.create 11 in
   let n = 50_000 in
@@ -73,7 +92,13 @@ let sampler_rejects_bad_input () =
   Alcotest.check_raises "negative" (Invalid_argument "Sampler.create: negative weight")
     (fun () -> ignore (Vod_util.Sampler.create [| 1.0; -1.0 |]));
   Alcotest.check_raises "zero sum" (Invalid_argument "Sampler.create: weights must sum to > 0")
-    (fun () -> ignore (Vod_util.Sampler.create [| 0.0; 0.0 |]))
+    (fun () -> ignore (Vod_util.Sampler.create [| 0.0; 0.0 |]));
+  (* Non-finite weights used to slip past the negative-weight check
+     (infinity /. infinity = nan inside the alias table). *)
+  Alcotest.check_raises "infinite" (Invalid_argument "Sampler.create: non-finite weight")
+    (fun () -> ignore (Vod_util.Sampler.create [| 1.0; infinity |]));
+  Alcotest.check_raises "nan" (Invalid_argument "Sampler.create: non-finite weight")
+    (fun () -> ignore (Vod_util.Sampler.create [| Float.nan; 1.0 |]))
 
 let sampler_singleton () =
   let rng = Vod_util.Rng.create 1 in
@@ -94,6 +119,9 @@ let stats_basics () =
   check_float "mean empty" 0.0 (Vod_util.Stats_acc.mean [||]);
   check_float "max" 4.0 (Vod_util.Stats_acc.max_elt [| 1.0; 4.0; 3.0 |]);
   check_float "min" 1.0 (Vod_util.Stats_acc.min_elt [| 1.0; 4.0; 3.0 |]);
+  (* Empty extrema are 0.0 by contract, not +/-infinity. *)
+  check_float "max empty" 0.0 (Vod_util.Stats_acc.max_elt [||]);
+  check_float "min empty" 0.0 (Vod_util.Stats_acc.min_elt [||]);
   check_float "sum" 10.0 (Vod_util.Stats_acc.sum [| 1.0; 2.0; 3.0; 4.0 |]);
   check_float "median" 2.0 (Vod_util.Stats_acc.percentile 0.5 [| 3.0; 1.0; 2.0 |]);
   check_float "geomean" 2.0 (Vod_util.Stats_acc.geometric_mean [| 1.0; 2.0; 4.0 |])
@@ -136,6 +164,126 @@ let percentile_duplicates_deterministic () =
         (Vod_util.Stats_acc.percentile p b))
     [ 0.0; 0.2; 0.4; 0.5; 0.6; 0.8; 1.0 ]
 
+(* ---- domain pool ---- *)
+
+exception Boom of int
+
+let pool_map_order_preserved () =
+  Vod_util.Pool.with_pool ~jobs:4 (fun pool ->
+      let input = Array.init 257 (fun i -> i) in
+      let out = Vod_util.Pool.map pool ~f:(fun x -> (2 * x) + 1) input in
+      Alcotest.(check (array int)) "map in input order"
+        (Array.map (fun x -> (2 * x) + 1) input)
+        out;
+      let outi = Vod_util.Pool.mapi pool ~f:(fun i x -> i + x) input in
+      Alcotest.(check (array int)) "mapi sees its own index"
+        (Array.map (fun x -> 2 * x) input)
+        outi)
+
+let pool_iteri_covers_every_index () =
+  Vod_util.Pool.with_pool ~jobs:3 (fun pool ->
+      let n = 100 in
+      let hits = Array.make n 0 in
+      (* Each slot is written by exactly one task, so no data race. *)
+      Vod_util.Pool.iteri pool ~n ~f:(fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check (array int)) "each index exactly once" (Array.make n 1) hits)
+
+let pool_map_reduce_sequential_fold () =
+  (* The combine fold must run in task order: feed it a non-commutative
+     combine and compare against the sequential result. *)
+  let n = 64 in
+  let expected =
+    let acc = ref "" in
+    for i = 0 to n - 1 do
+      acc := !acc ^ "," ^ string_of_int i
+    done;
+    !acc
+  in
+  List.iter
+    (fun jobs ->
+      Vod_util.Pool.with_pool ~jobs (fun pool ->
+          let got =
+            Vod_util.Pool.map_reduce pool ~n ~map:string_of_int ~init:""
+              ~combine:(fun acc s -> acc ^ "," ^ s)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "in-order fold at jobs=%d" jobs)
+            expected got))
+    [ 1; 2; 4; 7 ]
+
+let pool_results_job_count_invariant () =
+  (* A randomized workload driven by per-task split streams gives
+     bit-identical floats at any job count. *)
+  let run jobs =
+    Vod_util.Pool.with_pool ~jobs (fun pool ->
+        let streams = Vod_util.Rng.split_n (Vod_util.Rng.create 99) 40 in
+        Vod_util.Pool.mapi pool
+          ~f:(fun _ rng ->
+            let acc = ref 0.0 in
+            for _ = 1 to 1000 do
+              acc := !acc +. Vod_util.Rng.float rng
+            done;
+            !acc)
+          streams)
+  in
+  let reference = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array (float 0.0)))
+        (Printf.sprintf "bit-identical at jobs=%d" jobs)
+        reference (run jobs))
+    [ 2; 4; 8 ]
+
+let pool_exception_propagates () =
+  Vod_util.Pool.with_pool ~jobs:4 (fun pool ->
+      (* The lowest-indexed failure wins regardless of scheduling, and
+         the raising batch must not deadlock or poison the pool. *)
+      let saw = ref None in
+      (try
+         Vod_util.Pool.iteri pool ~n:50 ~f:(fun i ->
+             if i mod 10 = 3 then raise (Boom i))
+       with Boom i -> saw := Some i);
+      Alcotest.(check (option int)) "lowest-indexed failure" (Some 3) !saw;
+      (* The pool is still usable after a failed batch. *)
+      let out = Vod_util.Pool.map pool ~f:succ (Array.init 20 (fun i -> i)) in
+      Alcotest.(check (array int)) "pool survives" (Array.init 20 succ) out)
+
+let pool_rejects_after_shutdown () =
+  let pool = Vod_util.Pool.create ~jobs:2 () in
+  Vod_util.Pool.shutdown pool;
+  Vod_util.Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.iteri: pool is shut down") (fun () ->
+      Vod_util.Pool.iteri pool ~n:3 ~f:ignore)
+
+let pool_nested_submission_runs_inline () =
+  Vod_util.Pool.with_pool ~jobs:2 (fun pool ->
+      let out =
+        Vod_util.Pool.map pool
+          ~f:(fun x ->
+            (* Reentrant use of the same pool: must degrade to inline
+               execution, not deadlock. *)
+            Array.fold_left ( + ) 0
+              (Vod_util.Pool.map pool ~f:(fun y -> x * y) [| 1; 2; 3 |]))
+          [| 1; 2 |]
+      in
+      Alcotest.(check (array int)) "nested results" [| 6; 12 |] out)
+
+let pool_default_jobs_override () =
+  let before = Vod_util.Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Vod_util.Pool.set_default_jobs before)
+    (fun () ->
+      Vod_util.Pool.set_default_jobs 3;
+      Alcotest.(check int) "override" 3 (Vod_util.Pool.default_jobs ());
+      Vod_util.Pool.set_default_jobs 0;
+      Alcotest.(check bool) "reset to hardware default" true
+        (Vod_util.Pool.default_jobs () >= 1);
+      Alcotest.check_raises "negative"
+        (Invalid_argument "Pool.set_default_jobs: negative job count") (fun () ->
+          Vod_util.Pool.set_default_jobs (-1)))
+
 let table_render () =
   let s = Vod_util.Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "10"; "20" ] ] in
   Alcotest.(check bool) "contains header" true (String.length s > 0);
@@ -164,6 +312,7 @@ let suite =
     Alcotest.test_case "rng float range" `Quick rng_float_range;
     Alcotest.test_case "rng int bounds" `Quick rng_int_bounds;
     Alcotest.test_case "rng permutation valid" `Quick rng_permutation_valid;
+    Alcotest.test_case "rng split_n ordered" `Quick rng_split_n_ordered;
     Alcotest.test_case "rng exponential mean" `Quick rng_exponential_mean;
     Alcotest.test_case "sampler uniformity" `Quick sampler_uniformity;
     Alcotest.test_case "sampler input validation" `Quick sampler_rejects_bad_input;
@@ -174,6 +323,17 @@ let suite =
     Alcotest.test_case "percentile nan-free values" `Quick percentile_nan_free;
     Alcotest.test_case "percentile duplicates deterministic" `Quick
       percentile_duplicates_deterministic;
+    Alcotest.test_case "pool map order" `Quick pool_map_order_preserved;
+    Alcotest.test_case "pool iteri coverage" `Quick pool_iteri_covers_every_index;
+    Alcotest.test_case "pool map_reduce in-order fold" `Quick
+      pool_map_reduce_sequential_fold;
+    Alcotest.test_case "pool job-count invariance" `Quick
+      pool_results_job_count_invariant;
+    Alcotest.test_case "pool exception propagation" `Quick pool_exception_propagates;
+    Alcotest.test_case "pool shutdown" `Quick pool_rejects_after_shutdown;
+    Alcotest.test_case "pool nested submission" `Quick
+      pool_nested_submission_runs_inline;
+    Alcotest.test_case "pool default jobs" `Quick pool_default_jobs_override;
     Alcotest.test_case "table render" `Quick table_render;
     QCheck_alcotest.to_alcotest prop_sampler_matches_weights;
   ]

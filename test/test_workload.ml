@@ -17,6 +17,24 @@ let small_trace catalog =
   Tg.generate
     (Tg.default_params ~catalog ~populations ~mean_daily_requests:800.0 ~seed:6)
 
+let trace_jobs_invariant () =
+  (* Per-day RNG streams are split by day index before any generation
+     runs, so the trace is bit-identical at any job count. *)
+  let catalog = small_catalog () in
+  let gen jobs =
+    Tg.generate ~jobs
+      (Tg.default_params ~catalog ~populations ~mean_daily_requests:400.0 ~seed:6)
+  in
+  let a = gen 1 and b = gen 4 in
+  Alcotest.(check int) "same length" (Tr.length a) (Tr.length b);
+  Array.iteri
+    (fun i (r : Tr.request) ->
+      let s = b.Tr.requests.(i) in
+      Alcotest.(check int) "vho" r.Tr.vho s.Tr.vho;
+      Alcotest.(check int) "video" r.Tr.video s.Tr.video;
+      Alcotest.(check (float 0.0)) "time" r.Tr.time_s s.Tr.time_s)
+    a.Tr.requests
+
 let catalog_composition () =
   let c = small_catalog () in
   Alcotest.(check int) "size" 300 (C.n_videos c);
@@ -267,6 +285,7 @@ let suite =
     Alcotest.test_case "zipf weights" `Quick zipf_weights_decreasing;
     Alcotest.test_case "poisson mean" `Quick poisson_mean;
     Alcotest.test_case "trace valid" `Quick trace_valid;
+    Alcotest.test_case "trace jobs invariant" `Quick trace_jobs_invariant;
     Alcotest.test_case "weekend heavier" `Quick trace_weekend_heavier;
     Alcotest.test_case "popularity skew" `Quick trace_popularity_skew;
     Alcotest.test_case "between_days slices" `Quick between_days_slices;

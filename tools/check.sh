@@ -9,4 +9,19 @@ echo "== dune runtest =="
 dune runtest
 echo "== dune build @lint =="
 dune build @lint
+echo "== EPF determinism smoke: --jobs 1 vs --jobs 4 =="
+# A small end-to-end solve must produce byte-identical output at any
+# job count (the pool's determinism contract). The "time" line is the
+# one legitimately nondeterministic row; strip it before diffing.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+for j in 1 4; do
+  dune exec --no-print-directory bin/vodopt.exe -- solve \
+    --videos 120 --days 7 --requests-per-video 6 --passes 12 --jobs "$j" \
+    | grep -v '^time' > "$smoke_dir/jobs$j.out"
+done
+if ! diff -u "$smoke_dir/jobs1.out" "$smoke_dir/jobs4.out"; then
+  echo "FAIL: solver output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
 echo "== all checks passed =="
