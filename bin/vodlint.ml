@@ -1,20 +1,30 @@
 (* vodlint — static analysis enforcing the repo's solver-safety
-   invariants (see DESIGN.md, "Static analysis").
+   invariants (see DESIGN.md, "Static analysis" and "Effect analysis").
 
    Usage: vodlint [--format text|json] [--disable IDS] [--list-rules]
+                  [--project] [--baseline FILE] [--write-baseline]
                   [PATH ...]
 
    With no paths it lints the default scope: lib/ bin/ bench/ examples/.
-   Exit code 0 when clean, 1 on findings, 2 on usage errors. *)
+   [--project] additionally runs the whole-project effect-analysis rules
+   (par-race, float-order, wallclock-in-solver) and subtracts the
+   accepted findings recorded in the baseline file.
+   Exit code 0 when clean, 1 on (unbaselined) findings, 2 on usage
+   errors. *)
 
 let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
 
-let usage = "vodlint [--format text|json] [--disable IDS] [--list-rules] [PATH ...]"
+let usage =
+  "vodlint [--format text|json] [--disable IDS] [--list-rules]\n\
+  \        [--project] [--baseline FILE] [--write-baseline] [PATH ...]"
 
 let () =
   let format = ref `Text in
   let disabled = ref [] in
   let list_rules = ref false in
+  let project = ref false in
+  let baseline_path = ref ".vodlint-baseline" in
+  let write_baseline = ref false in
   let roots = ref [] in
   let set_format = function
     | "text" -> format := `Text
@@ -31,18 +41,31 @@ let () =
       ("--format", Arg.String set_format, "FMT report as 'text' (default) or 'json'");
       ("--disable", Arg.String add_disabled, "IDS comma-separated rule ids to skip");
       ("--list-rules", Arg.Set list_rules, " print rule ids and descriptions, then exit");
+      ("--project", Arg.Set project, " run the whole-project effect-analysis rules too");
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE accepted-findings file for --project (default .vodlint-baseline)" );
+      ( "--write-baseline",
+        Arg.Set write_baseline,
+        " rewrite the baseline to the current findings and exit clean" );
     ]
   in
   Arg.parse spec (fun p -> roots := p :: !roots) usage;
   if !list_rules then begin
     List.iter
-      (fun (r : Vod_lint.Rules.t) -> print_endline (Printf.sprintf "%-18s %s" r.id r.doc))
+      (fun (r : Vod_lint.Rules.t) ->
+        print_endline (Printf.sprintf "%-20s [file]    %s" r.id r.doc))
       Vod_lint.Rules.all;
+    List.iter
+      (fun (r : Vod_lint.Project_rules.t) ->
+        print_endline (Printf.sprintf "%-20s [project] %s" r.id r.doc))
+      Vod_lint.Project_rules.all;
     exit 0
   end;
   List.iter
     (fun id ->
-      if Vod_lint.Rules.find id = None then begin
+      if Vod_lint.Rules.find id = None && Vod_lint.Project_rules.find id = None
+      then begin
         prerr_endline ("vodlint: unknown rule id '" ^ id ^ "' (see --list-rules)");
         exit 2
       end)
@@ -52,17 +75,42 @@ let () =
   in
   let roots = match List.rev !roots with [] -> default_roots | rs -> rs in
   let diags =
-    try Vod_lint.Engine.lint_paths ~rules roots
+    try
+      if !project then Vod_lint.Engine.lint_project ~rules ~disabled:!disabled roots
+      else Vod_lint.Engine.lint_paths ~rules roots
     with Invalid_argument msg ->
       prerr_endline ("vodlint: " ^ msg);
       exit 2
   in
+  if !project && !write_baseline then begin
+    Vod_lint.Baseline.(save !baseline_path (of_diagnostics diags));
+    prerr_endline
+      (Printf.sprintf "vodlint: wrote %d finding%s to %s" (List.length diags)
+         (if List.length diags = 1 then "" else "s")
+         !baseline_path);
+    exit 0
+  end;
+  let diags, baselined =
+    if !project then begin
+      let applied = Vod_lint.Baseline.(apply (load !baseline_path) diags) in
+      List.iter
+        (fun e ->
+          prerr_endline
+            ("vodlint: stale baseline entry (no longer found): "
+            ^ Vod_lint.Baseline.entry_to_string e))
+        applied.stale;
+      (applied.fresh, applied.baselined)
+    end
+    else (diags, 0)
+  in
   (match !format with
   | `Text ->
       List.iter (fun d -> print_endline (Vod_lint.Diagnostic.to_text d)) diags;
-      if diags <> [] then
+      if diags <> [] || baselined > 0 then
         prerr_endline
-          (Printf.sprintf "vodlint: %d finding%s" (List.length diags)
-             (if List.length diags = 1 then "" else "s"))
+          (Printf.sprintf "vodlint: %d finding%s%s" (List.length diags)
+             (if List.length diags = 1 then "" else "s")
+             (if baselined > 0 then Printf.sprintf " (%d baselined)" baselined
+              else ""))
   | `Json -> print_endline (Vod_lint.Diagnostic.list_to_json diags));
   exit (if diags = [] then 0 else 1)

@@ -49,14 +49,16 @@ let pin t ~video ~vho =
     Replica_index.add t.index ~video ~vho
   end
 
-(* Pinned disk usage per VHO (GB). *)
+(* Pinned disk usage per VHO (GB). Folds over sorted video ids so the
+   reported usage is bit-identical regardless of pin/unpin history. *)
 let pinned_gb t =
   Array.map
     (fun tbl ->
-      Hashtbl.fold
-        (fun video () acc ->
+      List.fold_left
+        (fun acc video ->
           acc +. Vod_workload.Video.size_gb (Vod_workload.Catalog.video t.catalog video))
-        tbl 0.0)
+        0.0
+        (Vod_util.Stats_acc.sorted_keys Int.compare tbl))
     t.pinned
 
 let choose_server t ~video ~vho =

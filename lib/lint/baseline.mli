@@ -1,0 +1,31 @@
+(** Accepted-findings baseline for [vodlint --project].
+
+    Entries are [file TAB rule TAB message] triples — line-number-free
+    on purpose, so a baseline survives edits elsewhere in the file. A
+    finding covered by the baseline does not fail the build; a baseline
+    entry no longer matched by any finding is reported as stale so the
+    file shrinks as debt is paid down. *)
+
+type entry = { b_file : string; b_rule : string; b_message : string }
+type t = entry list
+
+val empty : t
+val of_string : string -> t
+val of_diagnostics : Diagnostic.t list -> t
+val to_string : t -> string
+(** Serialized form, including the explanatory header; entries sorted
+    and de-duplicated so the file is diff-stable. *)
+
+val load : string -> t
+(** Missing file loads as {!empty}. *)
+
+val save : string -> t -> unit
+
+type applied = {
+  fresh : Diagnostic.t list;  (** findings not covered by the baseline *)
+  baselined : int;            (** findings the baseline absorbed *)
+  stale : entry list;         (** baseline entries matching nothing *)
+}
+
+val apply : t -> Diagnostic.t list -> applied
+val entry_to_string : entry -> string

@@ -1,0 +1,87 @@
+(** Phase-1 of the whole-project analysis: syntactic per-function effect
+    summaries, computed independently for each file. Cross-module
+    propagation happens in {!Summaries}; the project rules that consume
+    both live in {!Project_rules}. *)
+
+(** {1 Effect kinds} *)
+
+type kind =
+  | Mutates_capture  (** writes state captured from an enclosing scope *)
+  | Mutates_global   (** writes module-level / other-module state *)
+  | Mutates_args     (** writes state reachable from its own parameters *)
+  | Io               (** console / file / channel I/O *)
+  | Random           (** the global [Stdlib.Random] generator *)
+  | Wallclock        (** [Sys.time] / [Unix.gettimeofday] / [Unix.time] *)
+  | Rng_state        (** advances an explicit [Vod_util.Rng] stream *)
+
+(** A set of effect kinds (bitmask; cheap to union during fixpoints). *)
+type set
+
+val empty : set
+val singleton : kind -> set
+val add : kind -> set -> set
+val mem : kind -> set -> bool
+val union : set -> set -> set
+val inter : set -> set -> set
+val is_empty : set -> bool
+
+val describe : kind -> string
+(** Human-readable phrase, e.g. ["mutates captured state"]. *)
+
+val to_string : set -> string
+(** Comma-joined {!describe} of every member, in a fixed order. *)
+
+(** {1 Value provenance} *)
+
+(** Where a value came from, coarsely. Ordered by badness for the
+    purposes of mutation classification: mutating a [Local] is harmless,
+    mutating a [Captured] inside a pool task is a race. *)
+type root = Local | Param | Global | Captured
+
+val worst : root -> root -> root
+
+(** {1 Analysis results} *)
+
+type call = {
+  callee : string;         (** normalized name, e.g. ["Engine.solve"] *)
+  arg_roots : root list;
+  call_loc : Location.t;
+}
+
+type result = {
+  effects : set;           (** effects proven directly in the body *)
+  calls : call list;       (** unresolved calls, for {!Summaries} *)
+}
+
+(** What a [Pool.*] call runs per task. *)
+type target =
+  | Closure of result  (** literal closure / local fn, capture-analyzed *)
+  | Named of string    (** top-level function; resolve via summaries *)
+  | Opaque             (** can't see into it (field access, param, ...) *)
+
+type pool_site = {
+  site_loc : Location.t;
+  entry : string;          (** ["Pool.map"], ["Pool.iteri"], ... *)
+  target : target;
+}
+
+type fn_summary = {
+  fn_name : string;        (** name within the module, e.g. ["solve"] *)
+  fn_loc : Location.t;
+  fn_result : result;
+}
+
+type file_analysis = {
+  fa_path : string;
+  fa_module : string;      (** ["Engine"] for [lib/epf/engine.ml] *)
+  fa_fns : fn_summary list;
+  fa_sites : pool_site list;
+}
+
+val normalize : string -> string
+(** Strip a leading [Stdlib.] or [Vod_*] wrapper component from a
+    qualified name, so ["Vod_util.Pool.map"] and ["Pool.map"] coincide. *)
+
+val module_name_of_path : string -> string
+
+val analyze_impl : path:string -> Parsetree.structure -> file_analysis

@@ -98,3 +98,67 @@ let lint_paths ?(rules = Rules.all) roots =
   discover roots
   |> List.concat_map (fun path -> lint_file ~rules path)
   |> List.sort_uniq Diagnostic.compare
+
+(* ------------------------------------------------------------------ *)
+(* Project mode: phase-1 rules per file plus phase-2 rules over the
+   whole tree's effect summaries. *)
+
+(* Phase-2 diagnostics honour the same [vodlint-disable] comments as
+   phase-1 ones; suppression is applied here because [Project_rules]
+   never sees source text. *)
+let filter_suppressed ~sources diags =
+  let scans =
+    List.map (fun (path, src) -> (path, Suppress.scan src)) sources
+  in
+  List.filter
+    (fun (d : Diagnostic.t) ->
+      match List.assoc_opt d.file scans with
+      | Some s -> not (Suppress.suppressed s ~line:d.line ~rule:d.rule)
+      | None -> true)
+    diags
+
+let project_core ~rules ~disabled ~on_disk files =
+  (* files : (path * src * (ast, exn) result) list *)
+  let phase1 =
+    List.concat_map
+      (fun (path, src, parsed) ->
+        match parsed with
+        | Error e -> [ parse_error_diag ~path e ]
+        | Ok ast -> run_rules ~rules ~ctx:(ctx_of_path ~on_disk path) ~src ast)
+      files
+  in
+  let impls =
+    List.filter_map
+      (fun (path, _, parsed) ->
+        match parsed with
+        | Ok (Rules.Impl str) -> Some (path, str)
+        | Ok (Rules.Intf _) | Error _ -> None)
+      files
+  in
+  let sources = List.map (fun (path, src, _) -> (path, src)) files in
+  let phase2 =
+    Project_rules.run ~disabled impls |> filter_suppressed ~sources
+  in
+  (* Sorted by (file, line, col, rule) and de-duplicated, so project
+     reports and the baseline file are diff-stable across runs. *)
+  List.sort_uniq Diagnostic.compare (phase1 @ phase2)
+
+let lint_project ?(rules = Rules.all) ?(disabled = []) roots =
+  let files =
+    discover roots
+    |> List.map (fun path ->
+           let src = try read_file path with _e -> "" in
+           let parsed = try Ok (parse_file path) with e -> Error e in
+           (path, src, parsed))
+  in
+  project_core ~rules ~disabled ~on_disk:true files
+
+let lint_project_strings ?(rules = Rules.all) ?(disabled = []) sources =
+  let files =
+    List.map
+      (fun (path, src) ->
+        let parsed = try Ok (parse_string ~path src) with e -> Error e in
+        (path, src, parsed))
+      sources
+  in
+  project_core ~rules ~disabled ~on_disk:false files

@@ -21,3 +21,21 @@ val lint_file : ?rules:Rules.t list -> string -> Diagnostic.t list
 (** Discover and lint every source file under the roots; diagnostics
     are sorted and de-duplicated. *)
 val lint_paths : ?rules:Rules.t list -> string list -> Diagnostic.t list
+
+(** Project mode: phase-1 rules per file, then the {!Project_rules}
+    effect-summary rules over every implementation file at once
+    ([disabled] names phase-2 rule ids to skip). [vodlint-disable]
+    comments suppress findings from both phases. The merged list is
+    sorted by (file, line, col, rule) and de-duplicated, so output and
+    baselines are diff-stable. Baseline subtraction is the caller's
+    job ({!Baseline.apply}). *)
+val lint_project :
+  ?rules:Rules.t list -> ?disabled:string list -> string list -> Diagnostic.t list
+
+(** Same, over in-memory [(path, source)] pairs — the test entry point
+    for multi-file fixtures. *)
+val lint_project_strings :
+  ?rules:Rules.t list ->
+  ?disabled:string list ->
+  (string * string) list ->
+  Diagnostic.t list

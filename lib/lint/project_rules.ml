@@ -1,0 +1,317 @@
+(* Phase-2 rules: whole-project checks that run on the effect summaries
+   (and, for float-order, the raw parsetrees) of every implementation
+   file at once. They exist to defend the two determinism contracts the
+   repro depends on: the pool's bit-identical-at-any-job-count contract
+   (par-race) and run-to-run reproducibility of every reported number
+   (float-order, wallclock-in-solver). *)
+
+open Parsetree
+
+type t = { id : string; doc : string }
+
+let all =
+  [
+    {
+      id = "par-race";
+      doc =
+        "task reaching Pool.map/mapi/iteri/map_reduce (transitively) mutates \
+         captured or module-level state, does I/O, or uses Random/wall-clock";
+    };
+    {
+      id = "float-order";
+      doc =
+        "float accumulation inside Hashtbl.iter/fold: the sum depends on \
+         table history; fold over sorted keys instead";
+    };
+    {
+      id = "wallclock-in-solver";
+      doc =
+        "Sys.time/Unix.gettimeofday in lib/: wall-clock readings must never \
+         feed solver numerics";
+    };
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let in_lib path = has_prefix "lib/" path || has_prefix "./lib/" path
+
+(* The pool implementation itself writes per-task result slots from
+   inside its own worker loop; that is the one sanctioned shared-state
+   mutation (ordered, disjoint indices). *)
+let is_pool_impl path =
+  Filename.basename path = "pool.ml"
+  && Filename.basename (Filename.dirname path) = "util"
+
+let lid_name (lid : Longident.t) = String.concat "." (Longident.flatten lid)
+
+let ident_of e =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (lid_name txt) | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* par-race                                                            *)
+
+let race_kinds =
+  Effects.
+    [
+      (Mutates_capture, "mutates captured state");
+      (Mutates_global, "mutates module-level state");
+      (Io, "performs I/O");
+      (Random, "draws from the global Random generator");
+      (Wallclock, "reads the wall clock");
+    ]
+
+let race_reasons effects =
+  List.filter_map
+    (fun (k, msg) -> if Effects.mem k effects then Some msg else None)
+    race_kinds
+
+let par_race ~table (fa : Effects.file_analysis) =
+  if is_pool_impl fa.fa_path then []
+  else
+    List.filter_map
+      (fun (site : Effects.pool_site) ->
+        let effects =
+          match site.target with
+          | Effects.Closure r ->
+              Summaries.effects_of_result table ~current_module:fa.fa_module r
+          | Effects.Named n -> (
+              match
+                Summaries.effects_of_name table ~current_module:fa.fa_module n
+              with
+              | Some e -> e
+              | None -> Effects.empty)
+          | Effects.Opaque -> Effects.empty
+        in
+        match race_reasons effects with
+        | [] -> None
+        | reasons ->
+            Some
+              (Diagnostic.make ~file:fa.fa_path ~loc:site.site_loc
+                 ~rule:"par-race"
+                 (Printf.sprintf
+                    "task passed to %s %s; parallel tasks would race and break \
+                     the pool's bit-determinism contract (thread per-task \
+                     state through the function or use the task-indexed Rng \
+                     streams)"
+                    site.entry
+                    (String.concat ", " reasons))))
+      fa.fa_sites
+
+(* ------------------------------------------------------------------ *)
+(* float-order                                                         *)
+
+let float_ops = [ "+."; "-."; "*." ]
+
+let mentions name e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ce ->
+          (match ce.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; _ } when n = name ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ce);
+    }
+  in
+  it.expr it e;
+  !found
+
+let rec fun_params e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, pat, body) ->
+      let ps, b = fun_params body in
+      (pat :: ps, b)
+  | Pexp_newtype (_, body) -> fun_params body
+  | _ -> ([], e)
+
+let pat_names p =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self pp ->
+          (match pp.ppat_desc with
+          | Ppat_var { txt; _ } -> acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self pp);
+    }
+  in
+  it.pat it p;
+  !acc
+
+(* Flag float-arithmetic applications inside [body] where some operand
+   mentions one of [names] (fold accumulators), at the operator's
+   location. *)
+let float_ops_mentioning ~file ~names body =
+  let diags = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ce ->
+          (match ce.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match ident_of f with
+              | Some op when List.mem op float_ops ->
+                  if
+                    List.exists
+                      (fun (_, a) -> List.exists (fun n -> mentions n a) names)
+                      args
+                  then
+                    diags :=
+                      Diagnostic.make ~file ~loc:ce.pexp_loc ~rule:"float-order"
+                        "float accumulation inside Hashtbl.fold: the total \
+                         depends on table insertion/resize history; fold over \
+                         sorted keys (Stats_acc.sorted_keys) instead"
+                      :: !diags
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ce);
+    }
+  in
+  it.expr it body;
+  !diags
+
+(* Flag [r := rhs] inside an iter body where [rhs] reads [r] back and
+   performs float arithmetic — an order-dependent running sum. *)
+let float_accum_assigns ~file body =
+  let diags = ref [] in
+  let has_float_op e =
+    let found = ref false in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self ce ->
+            (match ce.pexp_desc with
+            | Pexp_apply (f, _) -> (
+                match ident_of f with
+                | Some op when List.mem op float_ops -> found := true
+                | _ -> ())
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self ce);
+      }
+    in
+    it.expr it e;
+    !found
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ce ->
+          (match ce.pexp_desc with
+          | Pexp_apply (f, [ (_, lhs); (_, rhs) ]) when ident_of f = Some ":="
+            -> (
+              match ident_of lhs with
+              | Some r when mentions r rhs && has_float_op rhs ->
+                  diags :=
+                    Diagnostic.make ~file ~loc:ce.pexp_loc ~rule:"float-order"
+                      "float accumulation inside Hashtbl.iter: the running \
+                       sum depends on table insertion/resize history; fold \
+                       over sorted keys (Stats_acc.sorted_keys) instead"
+                    :: !diags
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ce);
+    }
+  in
+  it.expr it body;
+  !diags
+
+let float_order ~file (str : structure) =
+  let diags = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ce ->
+          (match ce.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match Option.map Effects.normalize (ident_of f) with
+              | Some "Hashtbl.iter" -> (
+                  match args with
+                  | (_, fn) :: _ -> (
+                      match fun_params fn with
+                      | _ :: _, body ->
+                          diags := float_accum_assigns ~file body @ !diags
+                      | [], _ -> ())
+                  | [] -> ())
+              | Some "Hashtbl.fold" -> (
+                  match args with
+                  | (_, fn) :: _ -> (
+                      match fun_params fn with
+                      | [ _; _; acc_pat ], body ->
+                          let names = pat_names acc_pat in
+                          if names <> [] then
+                            diags :=
+                              float_ops_mentioning ~file ~names body @ !diags
+                      | _ -> ())
+                  | [] -> ())
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ce);
+    }
+  in
+  it.structure it str;
+  !diags
+
+(* ------------------------------------------------------------------ *)
+(* wallclock-in-solver                                                 *)
+
+let wallclock_names = [ "Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
+
+let wallclock ~file (str : structure) =
+  if not (in_lib file) then []
+  else begin
+    let diags = ref [] in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self ce ->
+            (match ce.pexp_desc with
+            | Pexp_ident { txt; _ }
+              when List.mem (Effects.normalize (lid_name txt)) wallclock_names
+              ->
+                diags :=
+                  Diagnostic.make ~file ~loc:ce.pexp_loc
+                    ~rule:"wallclock-in-solver"
+                    "wall-clock reading in lib/: time must never feed solver \
+                     numerics; derive values from inputs, or suppress with \
+                     the invariant that this only decorates reports"
+                  :: !diags
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self ce);
+      }
+    in
+    it.structure it str;
+    !diags
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let run ?(disabled = []) (files : (string * structure) list) =
+  let enabled id = not (List.mem id disabled) in
+  let analyses =
+    List.map (fun (path, str) -> Effects.analyze_impl ~path str) files
+  in
+  let table = Summaries.of_analyses analyses in
+  let per_file =
+    List.concat_map
+      (fun ((path, str), fa) ->
+        (if enabled "par-race" then par_race ~table fa else [])
+        @ (if enabled "float-order" then float_order ~file:path str else [])
+        @ (if enabled "wallclock-in-solver" then wallclock ~file:path str
+           else []))
+      (List.combine files analyses)
+  in
+  per_file

@@ -1,0 +1,27 @@
+(** Phase-2 (whole-project) rules, run over the {!Effects} /
+    {!Summaries} view of every implementation file at once:
+
+    - [par-race] — a task reaching [Pool.map/mapi/iteri/map_reduce]
+      (directly, through a local helper, or through a cross-module
+      callee) mutates captured or module-level state, performs I/O, or
+      uses [Random]/wall-clock. Any of these breaks the pool's
+      bit-determinism contract. Task-indexed [Vod_util.Rng] streams are
+      the sanctioned pattern and do not fire.
+    - [float-order] — float accumulation inside [Hashtbl.iter]/[fold];
+      the sum depends on table insertion/resize history.
+    - [wallclock-in-solver] — [Sys.time]/[Unix.gettimeofday]/[Unix.time]
+      anywhere under [lib/]. *)
+
+type t = { id : string; doc : string }
+
+val all : t list
+val find : string -> t option
+
+val run :
+  ?disabled:string list ->
+  (string * Parsetree.structure) list ->
+  Diagnostic.t list
+(** Run every enabled project rule over the given [(path, ast)] pairs
+    (implementation files only). Diagnostics are unsorted and
+    unsuppressed — {!Engine} applies [vodlint-disable] filtering and
+    ordering. *)

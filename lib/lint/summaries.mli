@@ -1,0 +1,28 @@
+(** Whole-project join of per-file {!Effects} summaries: a table keyed
+    by normalized ["Module.fn"] names, closed under a monotone fixpoint
+    that propagates effects through cross-module calls. *)
+
+type entry = {
+  e_path : string;
+  e_loc : Location.t;
+  mutable e_effects : Effects.set;
+  e_calls : Effects.call list;
+}
+
+type t
+
+val of_analyses : Effects.file_analysis list -> t
+(** Build the table and run the propagation fixpoint. *)
+
+val find : t -> string -> entry option
+(** Exact lookup by ["Module.fn"] key. *)
+
+val effects_of_name : t -> current_module:string -> string -> Effects.set option
+(** Resolve a callee name as seen from [current_module] (unqualified
+    names resolve within that module) and return its closed effects. *)
+
+val effects_of_result : t -> current_module:string -> Effects.result -> Effects.set
+(** Close an ad-hoc analysis result (e.g. a capture-analyzed pool
+    closure) over the table: its direct effects plus the mapped effects
+    of every residual call that resolves. Unresolvable calls are assumed
+    pure — the dynamic jobs-1-vs-4 smoke test backstops those. *)

@@ -19,12 +19,18 @@ let save_csv (sol : Solution.t) path =
         (fun video vhos ->
           Array.iter (fun vho -> Printf.fprintf oc "store,%d,%d,\n" video vho) vhos)
         sol.Solution.stored;
+      (* Routes emit in sorted client order so the exported CSV is
+         byte-identical across runs (Hashtbl.iter order depends on
+         insertion history). *)
       Array.iteri
         (fun video routes ->
-          Hashtbl.iter
-            (fun client server ->
-              Printf.fprintf oc "route,%d,%d,%d\n" video client server)
-            routes)
+          List.iter
+            (fun client ->
+              match Hashtbl.find_opt routes client with
+              | Some server ->
+                  Printf.fprintf oc "route,%d,%d,%d\n" video client server
+              | None -> ())
+            (Vod_util.Stats_acc.sorted_keys Int.compare routes))
         sol.Solution.routes)
 
 let load_csv ~n_vhos ~n_videos path =

@@ -15,6 +15,9 @@ let src = Logs.Src.create "vod.solve" ~doc:"placement solve pipeline"
 module Log = (val Logs.src_log src : Logs.LOG)
 
 let solve ?(params = Vod_epf.Engine.default_params) (inst : Instance.t) =
+  (* vodlint-disable wallclock-in-solver -- wall time is reporting
+     metadata only (report.seconds / the log line); it never feeds the
+     placement numerics, which are fully determined by (inst, params). *)
   let t0 = Unix.gettimeofday () in
   let words () =
     let s = Gc.quick_stat () in
@@ -25,6 +28,8 @@ let solve ?(params = Vod_epf.Engine.default_params) (inst : Instance.t) =
   let capacities = Instance.capacities inst in
   let outcome = Vod_epf.Engine.solve ~round:true params ~capacities ~oracles in
   let solution = Solution.of_outcome inst outcome in
+  (* vodlint-disable wallclock-in-solver -- same invariant as t0 above:
+     elapsed time decorates the report, never the solution. *)
   let t1 = Unix.gettimeofday () in
   let stat1 = words () in
   Log.info (fun m ->

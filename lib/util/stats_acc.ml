@@ -26,21 +26,39 @@ let percentile p a =
   let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
   sorted.(idx)
 
+(* Keys of a hash table in ascending order. Float aggregates over a
+   table must fold in this order, not [Hashtbl.iter] order: iteration
+   order depends on insertion and resize history, and float addition is
+   not associative, so a history-ordered sum is not reproducible. *)
+let sorted_keys (type k) (cmp : k -> k -> int) (tbl : (k, _) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort_uniq cmp
+
 (* Cosine similarity between two sparse vectors represented as
    (index, value) association via hash tables. Used for the paper's Fig. 3
-   request-mix similarity metric. *)
+   request-mix similarity metric. Folds run over sorted keys so the
+   result is bit-identical regardless of how the tables were built. *)
 let cosine_similarity (v1 : (int, float) Hashtbl.t) (v2 : (int, float) Hashtbl.t) =
-  let dot = ref 0.0 in
-  Hashtbl.iter
-    (fun k x -> match Hashtbl.find_opt v2 k with Some y -> dot := !dot +. (x *. y) | None -> ())
-    v1;
+  let dot =
+    List.fold_left
+      (fun acc k ->
+        match (Hashtbl.find_opt v1 k, Hashtbl.find_opt v2 k) with
+        | Some x, Some y -> acc +. (x *. y)
+        | _, _ -> acc)
+      0.0
+      (sorted_keys Int.compare v1)
+  in
   let norm v =
-    let acc = ref 0.0 in
-    Hashtbl.iter (fun _ x -> acc := !acc +. (x *. x)) v;
-    sqrt !acc
+    List.fold_left
+      (fun acc k ->
+        match Hashtbl.find_opt v k with
+        | Some x -> acc +. (x *. x)
+        | None -> acc)
+      0.0
+      (sorted_keys Int.compare v)
+    |> sqrt
   in
   let n1 = norm v1 and n2 = norm v2 in
-  if n1 = 0.0 || n2 = 0.0 then 0.0 else !dot /. (n1 *. n2)
+  if n1 = 0.0 || n2 = 0.0 then 0.0 else dot /. (n1 *. n2)
 
 (* Geometric mean of positive values; matches the aggregation used for the
    paper's Table III (geometric mean over scenarios). *)

@@ -19,6 +19,15 @@ val sum : float array -> float
     Raises [Invalid_argument] on an empty array or p outside [0,1]. *)
 val percentile : float -> float array -> float
 
+(** [sorted_keys cmp tbl] is the keys of [tbl] in ascending [cmp] order
+    (duplicates from [Hashtbl.add] shadowing collapsed). Float
+    aggregates over a hash table must fold in this order rather than
+    [Hashtbl.iter] order: iteration order depends on insertion/resize
+    history and float addition is not associative, so history-ordered
+    sums are not reproducible. This is the fix the [float-order] lint
+    rule demands. *)
+val sorted_keys : ('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+
 (** Cosine similarity of two sparse vectors keyed by [int] indices, as in
     the paper's request-mix comparison (Fig. 3). Returns 0 when either
     vector is zero. *)

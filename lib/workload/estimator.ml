@@ -35,12 +35,16 @@ let top_movie (catalog : Catalog.t) (history : Trace.request array) =
           Hashtbl.replace counts r.Trace.video (c + 1)
       | Video.Clip | Video.Show -> ())
     history;
-  Hashtbl.fold
-    (fun video c best ->
+  (* Argmax over sorted video ids: ties break toward the lowest id
+     instead of whatever the table's iteration order happens to be. *)
+  List.fold_left
+    (fun best video ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts video) in
       match best with
       | Some (_, bc) when bc >= c -> best
       | _ -> Some (video, c))
-    counts None
+    None
+    (Vod_util.Stats_acc.sorted_keys Int.compare counts)
   |> Option.map fst
 
 (* Requests for one video in a batch, re-targeted to [new_video] and

@@ -84,10 +84,13 @@ let working_set (trace : Trace.t) (catalog : Catalog.t) ~vho ~t0 ~t1 =
         Hashtbl.replace seen r.Trace.video ())
     trace;
   let distinct = Hashtbl.length seen in
+  (* Sorted-key fold: the working-set size must not depend on the hash
+     table's insertion history (float addition is not associative). *)
   let size =
-    Hashtbl.fold
-      (fun video () acc -> acc +. Video.size_gb (Catalog.video catalog video))
-      seen 0.0
+    List.fold_left
+      (fun acc video -> acc +. Video.size_gb (Catalog.video catalog video))
+      0.0
+      (Vod_util.Stats_acc.sorted_keys Int.compare seen)
   in
   (distinct, size)
 

@@ -147,6 +147,210 @@ let json_report_shape () =
      let rec go i = i + m <= n && (String.sub json i m = sub || go (i + 1)) in
      go 0)
 
+(* --- project mode: effect analysis -------------------------------- *)
+
+(* Findings of one rule in one file under project mode. Fixtures are
+   linted as a set so cross-module summaries resolve. *)
+let project_fired rule files =
+  Vod_lint.Engine.lint_project_strings files
+  |> List.filter_map (fun (d : Vod_lint.Diagnostic.t) ->
+         if d.rule = rule then Some d.file else None)
+
+let check_project_fires rule ~in_file files () =
+  Alcotest.(check bool)
+    (rule ^ " fires in " ^ in_file)
+    true
+    (List.mem in_file (project_fired rule files))
+
+let check_project_quiet rule files () =
+  Alcotest.(check (list string)) (rule ^ " quiet") [] (project_fired rule files)
+
+(* par-race: the acceptance fixture — a captured ref mutated inside a
+   Pool closure, directly and via helpers. *)
+
+let pr_direct =
+  [
+    ( "lib/fake/direct.ml",
+      "let go pool =\n\
+      \  let total = ref 0.0 in\n\
+      \  Vod_util.Pool.iteri pool ~n:4 ~f:(fun i -> total := !total +. float_of_int i);\n\
+      \  !total" );
+  ]
+
+let pr_same_module_helper =
+  [
+    ( "lib/fake/helper_mod.ml",
+      "let bump r = r := !r +. 1.0\n\
+       let go pool =\n\
+      \  let c = ref 0.0 in\n\
+      \  Vod_util.Pool.iteri pool ~n:4 ~f:(fun _i -> bump c);\n\
+      \  !c" );
+  ]
+
+let pr_cross_module =
+  [
+    ("lib/fake/helper.ml", "let bump r = r := !r + 1");
+    ( "lib/fake/driver.ml",
+      "let go pool =\n\
+      \  let c = ref 0 in\n\
+      \  Vod_util.Pool.iteri pool ~n:4 ~f:(fun _i -> Helper.bump c);\n\
+      \  !c" );
+  ]
+
+let pr_local_fn_capture =
+  (* The mutating helper is a *local* function of the submitting scope:
+     resolved by inline expansion, not the summary table. *)
+  [
+    ( "lib/fake/local.ml",
+      "let go pool =\n\
+      \  let c = ref 0 in\n\
+      \  let bump () = c := !c + 1 in\n\
+      \  Vod_util.Pool.iteri pool ~n:4 ~f:(fun _i -> bump ());\n\
+      \  !c" );
+  ]
+
+let pr_random =
+  [
+    ( "lib/fake/rand.ml",
+      "let go pool a = Vod_util.Pool.map pool ~f:(fun i -> Random.int i) a" );
+  ]
+
+let pr_io =
+  [
+    ( "lib/fake/io.ml",
+      "let go pool = Vod_util.Pool.iteri pool ~n:2 ~f:(fun i -> print_int i)" );
+  ]
+
+let pr_global =
+  [
+    ( "lib/fake/glob.ml",
+      "let hits = Hashtbl.create 16\n\
+       let go pool =\n\
+      \  Vod_util.Pool.iteri pool ~n:4 ~f:(fun i -> Hashtbl.replace hits i true)" );
+  ]
+
+let pr_pure =
+  [ ("lib/fake/pure.ml", "let go pool a = Vod_util.Pool.map pool ~f:(fun x -> x * 2) a") ]
+
+let pr_rng_stream =
+  (* Task-indexed Rng streams are the sanctioned pattern: Rng_state is
+     tracked but must not trigger par-race. *)
+  [
+    ( "lib/fake/rng_ok.ml",
+      "let go pool rngs a =\n\
+      \  Vod_util.Pool.mapi pool ~f:(fun i _x -> Vod_util.Rng.float rngs.(i) 1.0) a" );
+  ]
+
+let pr_local_accum_ok =
+  (* A ref allocated *inside* the task is private to it: no race. *)
+  [
+    ( "lib/fake/priv.ml",
+      "let go pool a =\n\
+      \  Vod_util.Pool.map pool\n\
+      \    ~f:(fun xs ->\n\
+      \      let s = ref 0.0 in\n\
+      \      Array.iter (fun x -> s := !s +. x) xs;\n\
+      \      !s)\n\
+      \    a" );
+  ]
+
+(* float-order *)
+
+let fo_iter =
+  [
+    ( "lib/fake/fo1.ml",
+      "let total t =\n\
+      \  let s = ref 0.0 in\n\
+      \  Hashtbl.iter (fun _ x -> s := !s +. x) t;\n\
+      \  !s" );
+  ]
+
+let fo_fold =
+  [ ("lib/fake/fo2.ml", "let total t = Hashtbl.fold (fun _ x acc -> acc +. x) t 0.0") ]
+
+let fo_keys_ok =
+  [ ("lib/fake/fo3.ml", "let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []") ]
+
+let fo_elementwise_ok =
+  [
+    ( "lib/fake/fo4.ml",
+      "let scale t out = Hashtbl.iter (fun k x -> out.(k) <- x *. 2.0) t" );
+  ]
+
+(* wallclock-in-solver *)
+
+let wc_lib = [ ("lib/fake/wc.ml", "let now () = Unix.gettimeofday ()") ]
+let wc_bench = [ ("bench/fake_wc.ml", "let now () = Unix.gettimeofday ()") ]
+
+let wc_suppressed =
+  [
+    ( "lib/fake/wc_ok.ml",
+      "let now () =\n\
+      \  (* vodlint-disable wallclock-in-solver -- decorates the report only *)\n\
+      \  Unix.gettimeofday ()" );
+  ]
+
+(* project-mode output contract: sorted by (file, line, col, rule), no
+   duplicates *)
+let project_output_stable () =
+  let files = pr_cross_module @ fo_iter @ wc_lib in
+  let diags = Vod_lint.Engine.lint_project_strings files in
+  let sorted = List.sort_uniq Vod_lint.Diagnostic.compare diags in
+  Alcotest.(check bool) "sorted and de-duplicated" true (diags = sorted);
+  Alcotest.(check bool) "found something to sort" true (List.length diags >= 3)
+
+(* baseline *)
+
+let diag ~file ~line ~rule ~message =
+  { Vod_lint.Diagnostic.file; line; col = 0; rule; message }
+
+let baseline_roundtrip () =
+  let d = diag ~file:"lib/a.ml" ~line:3 ~rule:"par-race" ~message:"task races" in
+  let b =
+    Vod_lint.Baseline.(of_string (to_string (of_diagnostics [ d ])))
+  in
+  (* A baselined finding is absorbed even after its line number moves. *)
+  let applied = Vod_lint.Baseline.apply b [ { d with line = 42 } ] in
+  Alcotest.(check int) "absorbed" 1 applied.Vod_lint.Baseline.baselined;
+  Alcotest.(check (list string)) "no fresh findings" []
+    (List.map (fun (x : Vod_lint.Diagnostic.t) -> x.rule) applied.fresh);
+  Alcotest.(check int) "no stale entries" 0 (List.length applied.stale)
+
+let baseline_add_and_expire () =
+  let old_d = diag ~file:"lib/a.ml" ~line:3 ~rule:"par-race" ~message:"old" in
+  let new_d = diag ~file:"lib/b.ml" ~line:9 ~rule:"float-order" ~message:"new" in
+  let b = Vod_lint.Baseline.of_diagnostics [ old_d ] in
+  (* old finding fixed, new one appeared *)
+  let applied = Vod_lint.Baseline.apply b [ new_d ] in
+  Alcotest.(check int) "nothing absorbed" 0 applied.Vod_lint.Baseline.baselined;
+  Alcotest.(check (list string)) "new finding is fresh" [ "float-order" ]
+    (List.map (fun (x : Vod_lint.Diagnostic.t) -> x.rule) applied.fresh);
+  Alcotest.(check (list string)) "fixed finding reported stale"
+    [ "lib/a.ml\tpar-race\told" ]
+    (List.map Vod_lint.Baseline.entry_to_string applied.stale)
+
+let baseline_ignores_comments () =
+  let b =
+    Vod_lint.Baseline.of_string
+      "# a comment\n\nlib/a.ml\tpar-race\ttask races\n# trailing\n"
+  in
+  let d = diag ~file:"lib/a.ml" ~line:1 ~rule:"par-race" ~message:"task races" in
+  let applied = Vod_lint.Baseline.apply b [ d ] in
+  Alcotest.(check int) "entry parsed and matched" 1
+    applied.Vod_lint.Baseline.baselined
+
+(* multi-line suppression comments *)
+
+let sup_multiline =
+  "(* vodlint-disable hashtbl-find --\n\
+  \   the key is inserted by the caller two lines up,\n\
+  \   so find cannot raise here *)\n\
+   let f t k = Hashtbl.find t k"
+
+let multiline_suppression () =
+  Alcotest.(check (list string)) "multi-line comment suppresses" []
+    (fired sup_multiline)
+
 let suite =
   [
     Alcotest.test_case "poly-compare fires on bare sort" `Quick (check_fires "poly-compare" pc_bad);
@@ -208,4 +412,51 @@ let suite =
     Alcotest.test_case "clean snippet" `Quick clean_realistic_snippet;
     Alcotest.test_case "missing mli on disk" `Quick missing_mli_on_disk;
     Alcotest.test_case "json report shape" `Quick json_report_shape;
+    (* project mode: par-race *)
+    Alcotest.test_case "par-race fires on direct captured-ref mutation" `Quick
+      (check_project_fires "par-race" ~in_file:"lib/fake/direct.ml" pr_direct);
+    Alcotest.test_case "par-race fires through same-module helper" `Quick
+      (check_project_fires "par-race" ~in_file:"lib/fake/helper_mod.ml"
+         pr_same_module_helper);
+    Alcotest.test_case "par-race fires through cross-module callee" `Quick
+      (check_project_fires "par-race" ~in_file:"lib/fake/driver.ml" pr_cross_module);
+    Alcotest.test_case "par-race fires through local helper fn" `Quick
+      (check_project_fires "par-race" ~in_file:"lib/fake/local.ml" pr_local_fn_capture);
+    Alcotest.test_case "par-race fires on Random in task" `Quick
+      (check_project_fires "par-race" ~in_file:"lib/fake/rand.ml" pr_random);
+    Alcotest.test_case "par-race fires on I/O in task" `Quick
+      (check_project_fires "par-race" ~in_file:"lib/fake/io.ml" pr_io);
+    Alcotest.test_case "par-race fires on module-level Hashtbl mutation" `Quick
+      (check_project_fires "par-race" ~in_file:"lib/fake/glob.ml" pr_global);
+    Alcotest.test_case "par-race quiet on pure task" `Quick
+      (check_project_quiet "par-race" pr_pure);
+    Alcotest.test_case "par-race quiet on task-indexed Rng streams" `Quick
+      (check_project_quiet "par-race" pr_rng_stream);
+    Alcotest.test_case "par-race quiet on task-private ref" `Quick
+      (check_project_quiet "par-race" pr_local_accum_ok);
+    (* project mode: float-order *)
+    Alcotest.test_case "float-order fires on iter running sum" `Quick
+      (check_project_fires "float-order" ~in_file:"lib/fake/fo1.ml" fo_iter);
+    Alcotest.test_case "float-order fires on fold accumulator" `Quick
+      (check_project_fires "float-order" ~in_file:"lib/fake/fo2.ml" fo_fold);
+    Alcotest.test_case "float-order quiet on key collection" `Quick
+      (check_project_quiet "float-order" fo_keys_ok);
+    Alcotest.test_case "float-order quiet on element-wise writes" `Quick
+      (check_project_quiet "float-order" fo_elementwise_ok);
+    (* project mode: wallclock-in-solver *)
+    Alcotest.test_case "wallclock-in-solver fires in lib" `Quick
+      (check_project_fires "wallclock-in-solver" ~in_file:"lib/fake/wc.ml" wc_lib);
+    Alcotest.test_case "wallclock-in-solver quiet outside lib" `Quick
+      (check_project_quiet "wallclock-in-solver" wc_bench);
+    Alcotest.test_case "wallclock-in-solver suppressible inline" `Quick
+      (check_project_quiet "wallclock-in-solver" wc_suppressed);
+    (* project mode: output + baseline *)
+    Alcotest.test_case "project output sorted and de-duplicated" `Quick
+      project_output_stable;
+    Alcotest.test_case "baseline round-trips and absorbs moved findings" `Quick
+      baseline_roundtrip;
+    Alcotest.test_case "baseline add and expire" `Quick baseline_add_and_expire;
+    Alcotest.test_case "baseline skips comments and blanks" `Quick
+      baseline_ignores_comments;
+    Alcotest.test_case "multi-line suppression comment" `Quick multiline_suppression;
   ]

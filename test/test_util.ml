@@ -138,6 +138,40 @@ let cosine_similarity_cases () =
     (Vod_util.Stats_acc.cosine_similarity (v [ (1, 1.0) ]) (v [ (2, 1.0) ]));
   check_float "empty" 0.0 (Vod_util.Stats_acc.cosine_similarity (v []) (v [ (1, 1.0) ]))
 
+(* The float-order fix: aggregates over hash tables fold in sorted key
+   order, so the result is bit-identical no matter how the table was
+   built (insertion order, deletions, resizes). *)
+let cosine_order_invariance () =
+  let keys = List.init 200 (fun i -> i) in
+  let value k = 1.0 /. (float_of_int k +. 3.14159) in
+  let build order =
+    let t = Hashtbl.create 4 in
+    List.iter (fun k -> Hashtbl.replace t k (value k)) order;
+    (* churn: delete and re-insert a slice to perturb bucket layout *)
+    List.iter
+      (fun k -> if k mod 3 = 0 then Hashtbl.remove t k)
+      order;
+    List.iter
+      (fun k -> if k mod 3 = 0 then Hashtbl.replace t k (value k))
+      (List.rev order);
+    t
+  in
+  let forward = build keys in
+  let backward = build (List.rev keys) in
+  let other = build (List.filter (fun k -> k mod 2 = 0) keys) in
+  let s1 = Vod_util.Stats_acc.cosine_similarity forward other in
+  let s2 = Vod_util.Stats_acc.cosine_similarity backward other in
+  Alcotest.(check bool) "bit-identical across table histories" true (s1 = s2);
+  Alcotest.(check bool) "similarity in (0, 1]" true (s1 > 0.0 && s1 <= 1.0)
+
+let sorted_keys_cases () =
+  let t = Hashtbl.create 4 in
+  List.iter (fun k -> Hashtbl.replace t k ()) [ 5; 1; 9; 1; 3 ];
+  Alcotest.(check (list int)) "ascending, de-duplicated" [ 1; 3; 5; 9 ]
+    (Vod_util.Stats_acc.sorted_keys Int.compare t);
+  Alcotest.(check (list int)) "empty table" []
+    (Vod_util.Stats_acc.sorted_keys Int.compare (Hashtbl.create 4))
+
 (* Regression for the stats_acc sort switching from polymorphic
    [compare] to [Float.compare]: identical results on NaN-free input,
    and deterministic behavior in the presence of duplicates. *)
@@ -320,6 +354,8 @@ let suite =
     Alcotest.test_case "sampler zero weight" `Quick sampler_zero_weight_never_drawn;
     Alcotest.test_case "stats basics" `Quick stats_basics;
     Alcotest.test_case "cosine similarity" `Quick cosine_similarity_cases;
+    Alcotest.test_case "cosine order invariance" `Quick cosine_order_invariance;
+    Alcotest.test_case "sorted keys" `Quick sorted_keys_cases;
     Alcotest.test_case "percentile nan-free values" `Quick percentile_nan_free;
     Alcotest.test_case "percentile duplicates deterministic" `Quick
       percentile_duplicates_deterministic;

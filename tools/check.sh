@@ -7,8 +7,10 @@ echo "== dune build =="
 dune build
 echo "== dune runtest =="
 dune runtest
-echo "== dune build @lint =="
+echo "== dune build @lint (project mode: effect analysis + baseline) =="
 dune build @lint
+echo "== vodlint --project (explicit, against the checked-in baseline) =="
+dune exec --no-print-directory bin/vodlint.exe -- --project --baseline .vodlint-baseline
 echo "== EPF determinism smoke: --jobs 1 vs --jobs 4 =="
 # A small end-to-end solve must produce byte-identical output at any
 # job count (the pool's determinism contract). The "time" line is the
