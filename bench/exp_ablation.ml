@@ -23,6 +23,9 @@ let instance () =
     ()
 
 let solve_with ~shuffle ~warm_start inst =
+  (* Engine called directly (bypassing Solve.solve, whose extraction we
+     don't need): namespace its phase timers under ablation/. *)
+  Vod_obs.Obs.phase "ablation" @@ fun () ->
   let params = { Common.solve_params with Vod_epf.Engine.shuffle } in
   let t0 = Unix.gettimeofday () in
   let _, oracles = Vod_placement.Blocks.oracles ~warm_start inst in
@@ -85,24 +88,30 @@ and chunking_ablation () =
       ()
   in
   let rows = ref [] in
-  let record label (report : Vod_placement.Solve.report) n_items =
+  let record label (report : Vod_placement.Solve.report) seconds n_items =
     rows :=
       [
         label;
         string_of_int n_items;
         Printf.sprintf "%.0f" report.Vod_placement.Solve.solution.Vod_placement.Solution.objective;
         Common.fmt_pct report.Vod_placement.Solve.solution.Vod_placement.Solution.max_violation;
-        Printf.sprintf "%.1f" report.Vod_placement.Solve.seconds;
+        Printf.sprintf "%.1f" seconds;
       ]
       :: !rows
   in
-  let whole = Vod_placement.Solve.solve ~params:Common.solve_params inst in
-  record "whole videos" whole (Vod_workload.Catalog.n_videos sc.Vod_core.Scenario.catalog);
+  let whole, whole_s =
+    Common.timed (fun () -> Vod_placement.Solve.solve ~params:Common.solve_params inst)
+  in
+  record "whole videos" whole whole_s
+    (Vod_workload.Catalog.n_videos sc.Vod_core.Scenario.catalog);
   List.iter
     (fun chunk_gb ->
       let t, chunked_inst = Vod_placement.Chunking.instance inst ~chunk_gb in
-      let report = Vod_placement.Solve.solve ~params:Common.solve_params chunked_inst in
-      record (Printf.sprintf "%.1f GB chunks" chunk_gb) report
+      let report, chunk_s =
+        Common.timed (fun () ->
+            Vod_placement.Solve.solve ~params:Common.solve_params chunked_inst)
+      in
+      record (Printf.sprintf "%.1f GB chunks" chunk_gb) report chunk_s
         (Vod_placement.Chunking.n_chunks t))
     [ 1.0; 0.5 ];
   Vod_util.Table.print

@@ -9,7 +9,13 @@
 
    Experiment ids: fig2 fig3 fig4 fig5 (covers figs 5-9) fig10 (+table2)
    fig11 fig12 fig13 table3 table4 table5 table6 micro.
-   Scale via VOD_SCALE=quick|default|full. *)
+   Scale via VOD_SCALE=quick|default|full.
+
+   --checkpoint DIR  writes each exhibit's console section and metrics
+   JSON as it completes and skips already-completed exhibits on the
+   next run, so a killed default/full-scale run resumes instead of
+   starting over (see EXPERIMENTS.md, "Regenerating the numbers").
+   --metrics PATH    exports the run's Obs registry as sorted JSON. *)
 
 let available =
   [
@@ -27,25 +33,47 @@ let available =
     ("micro", "bechamel kernel micro-benchmarks");
   ]
 
-(* Extract --jobs N / --jobs=N from the argument list; returns the
-   remaining (experiment-id) arguments and sets the process-wide pool
-   default. 0 keeps the default (number of cores). *)
-let parse_jobs args =
+(* Extract the harness flags from the argument list; returns the
+   remaining (experiment-id) arguments. --jobs sets the process-wide
+   pool default (0 keeps the number-of-cores default). *)
+let metrics_path = ref None
+let checkpoint_dir = ref None
+
+let parse_flags args =
+  let starts_with prefix a =
+    let n = String.length prefix in
+    String.length a > n && String.sub a 0 n = prefix
+  in
+  let tail prefix a =
+    let n = String.length prefix in
+    String.sub a n (String.length a - n)
+  in
   let rec go acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: rest ->
         Vod_util.Pool.set_default_jobs (int_of_string n);
         go acc rest
-    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
-        Vod_util.Pool.set_default_jobs
-          (int_of_string (String.sub a 7 (String.length a - 7)));
+    | a :: rest when starts_with "--jobs=" a ->
+        Vod_util.Pool.set_default_jobs (int_of_string (tail "--jobs=" a));
+        go acc rest
+    | "--metrics" :: p :: rest ->
+        metrics_path := Some p;
+        go acc rest
+    | a :: rest when starts_with "--metrics=" a ->
+        metrics_path := Some (tail "--metrics=" a);
+        go acc rest
+    | "--checkpoint" :: d :: rest ->
+        checkpoint_dir := Some d;
+        go acc rest
+    | a :: rest when starts_with "--checkpoint=" a ->
+        checkpoint_dir := Some (tail "--checkpoint=" a);
         go acc rest
     | a :: rest -> go (a :: acc) rest
   in
   go [] args
 
 let () =
-  let args = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+  let args = parse_flags (List.tl (Array.to_list Sys.argv)) in
   let wants name =
     match args with
     | [] -> true
@@ -57,8 +85,14 @@ let () =
           args
   in
   if List.mem "--help" args || List.mem "-h" args then begin
-    print_endline "usage: main.exe [--jobs N] [experiment ...]   (default: all)";
-    print_endline "  --jobs N  worker domains for parallel phases (0 = number of cores)";
+    print_endline
+      "usage: main.exe [--jobs N] [--metrics PATH] [--checkpoint DIR] [experiment ...]   (default: all)";
+    print_endline
+      "  --jobs N          worker domains for parallel phases (0 = number of cores)";
+    print_endline
+      "  --metrics PATH    write the run's metrics registry as sorted JSON ('-' = stdout)";
+    print_endline
+      "  --checkpoint DIR  checkpoint each exhibit into DIR and skip completed ones on resume";
     List.iter (fun (n, d) -> Printf.printf "  %-8s %s\n" n d) available;
     exit 0
   end;
@@ -70,28 +104,52 @@ let () =
     | Common.Full -> "full")
     Common.sim_videos Common.days Common.requests_per_video_per_day;
   let scenario = lazy (Common.backbone_scenario ()) in
+  let run_all () =
+    let ran = ref 0 in
+    let run_if name f =
+      if wants name then begin
+        incr ran;
+        match !checkpoint_dir with
+        | None ->
+            (* Same phase key the checkpointed path records, so
+               --metrics reports per-exhibit timing either way. *)
+            let (), dt =
+              Common.timed (fun () -> Vod_obs.Obs.phase ("bench/" ^ name) f)
+            in
+            Common.note "[%s done in %.1fs]" name dt
+        | Some dir -> (
+            let outcome, dt =
+              Common.timed (fun () -> Vod_obs.Checkpoint.run ~dir ~name f)
+            in
+            match outcome with
+            | Vod_obs.Checkpoint.Ran ->
+                Common.note "[%s done in %.1fs; checkpointed to %s]" name dt dir
+            | Vod_obs.Checkpoint.Restored ->
+                Common.note "[%s restored from %s]" name dir)
+      end
+    in
+    run_if "fig2" (fun () -> Exp_trace.run (Lazy.force scenario));
+    run_if "fig5" (fun () -> ignore (Exp_compare.run (Lazy.force scenario)));
+    run_if "fig10" (fun () -> Exp_origin.run (Lazy.force scenario));
+    run_if "fig11" (fun () -> Exp_feasibility.fig11_region ());
+    run_if "fig12" (fun () -> Exp_cache_sweep.run (Lazy.force scenario));
+    run_if "fig13" (fun () -> Exp_feasibility.fig13_library_growth ());
+    run_if "table3" (fun () -> Exp_scaling.run ());
+    run_if "table4" (fun () -> Exp_feasibility.table4_topology ());
+    run_if "table5" (fun () -> Exp_window.run ());
+    run_if "table6" (fun () -> Exp_update.run (Lazy.force scenario));
+    run_if "ablation" (fun () -> Exp_ablation.run ());
+    run_if "micro" (fun () -> Micro.run ());
+    !ran
+  in
   let total, dt =
     Common.timed (fun () ->
-        let ran = ref 0 in
-        let run_if name f =
-          if wants name then begin
-            incr ran;
-            let (), dt = Common.timed f in
-            Common.note "[%s done in %.1fs]" name dt
-          end
-        in
-        run_if "fig2" (fun () -> Exp_trace.run (Lazy.force scenario));
-        run_if "fig5" (fun () -> ignore (Exp_compare.run (Lazy.force scenario)));
-        run_if "fig10" (fun () -> Exp_origin.run (Lazy.force scenario));
-        run_if "fig11" (fun () -> Exp_feasibility.fig11_region ());
-        run_if "fig12" (fun () -> Exp_cache_sweep.run (Lazy.force scenario));
-        run_if "fig13" (fun () -> Exp_feasibility.fig13_library_growth ());
-        run_if "table3" (fun () -> Exp_scaling.run ());
-        run_if "table4" (fun () -> Exp_feasibility.table4_topology ());
-        run_if "table5" (fun () -> Exp_window.run ());
-        run_if "table6" (fun () -> Exp_update.run (Lazy.force scenario));
-        run_if "ablation" (fun () -> Exp_ablation.run ());
-        run_if "micro" (fun () -> Micro.run ());
-        !ran)
+        match !metrics_path with
+        | None -> run_all ()
+        | Some path ->
+            let reg = Vod_obs.Obs.create () in
+            let total = Vod_obs.Obs.with_run reg run_all in
+            Vod_obs.Obs.write_json reg path;
+            total)
   in
   Common.note "\n%d experiment group(s) completed in %.1fs." total dt

@@ -14,6 +14,24 @@ let setup_logs verbose jobs =
   Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
   Vod_util.Pool.set_default_jobs jobs
 
+(* Wall-clock timing lives in the front end: Solve.report deliberately
+   carries no wall time (lib/ is wallclock-free outside lib/obs). *)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* --metrics PATH: collect the side-band Obs registry over the whole
+   command and export it as sorted JSON ('-' = stdout) when done. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      let reg = Vod_obs.Obs.create () in
+      let r = Vod_obs.Obs.with_run reg f in
+      Vod_obs.Obs.write_json reg path;
+      r
+
 (* Common options *)
 
 let videos_t =
@@ -53,6 +71,14 @@ let jobs_t =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for the parallel phases (0 = number of cores). Results are identical at any job count for a fixed --seed.")
+
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Collect side-band metrics (EPF convergence series, phase timings, cache and pool counters — see METRICS.md) and write them as sorted JSON to $(docv) ('-' = stdout).")
 
 let topology_t =
   let topologies = [ "backbone"; "tiscali"; "sprint"; "ebone" ] in
@@ -118,8 +144,10 @@ let scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed ()
 
 (* ---- stats ---- *)
 
-let stats topology topology_file trace_file trace_out videos days rpv seed verbose jobs =
+let stats topology topology_file trace_file trace_out videos days rpv seed verbose jobs
+    metrics =
   setup_logs verbose jobs;
+  with_metrics metrics @@ fun () ->
   let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
   Option.iter
     (fun path ->
@@ -155,8 +183,9 @@ let stats topology topology_file trace_file trace_out videos days rpv seed verbo
 (* ---- solve ---- *)
 
 let solve topology topology_file trace_file placement_out videos days rpv seed disk
-    link passes verbose jobs =
+    link passes verbose jobs metrics =
   setup_logs verbose jobs;
+  with_metrics metrics @@ fun () ->
   let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
   let demand = Vod_core.Scenario.demand_of_week sc ~day0:0 () in
   let inst =
@@ -168,10 +197,10 @@ let solve topology topology_file trace_file placement_out videos days rpv seed d
       ()
   in
   let params = { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = passes } in
-  let report = Vod_placement.Solve.solve ~params inst in
+  let report, solve_s = timed (fun () -> Vod_placement.Solve.solve ~params inst) in
   let sol = report.Vod_placement.Solve.solution in
   Printf.printf "passes        %d\n" report.Vod_placement.Solve.passes;
-  Printf.printf "time          %.2f s\n" report.Vod_placement.Solve.seconds;
+  Printf.printf "time          %.2f s\n" solve_s;
   Printf.printf "LP objective  %.1f (violation %.2f%%)\n" report.Vod_placement.Solve.lp_objective
     (100.0 *. report.Vod_placement.Solve.lp_violation);
   Printf.printf "MIP objective %.1f (violation %.2f%%)\n" sol.Vod_placement.Solution.objective
@@ -198,8 +227,9 @@ let scheme_t =
     & info [ "scheme" ] ~docv:"S" ~doc:"Scheme: mip, lru, lfu, topk, origin.")
 
 let simulate topology topology_file trace_file videos days rpv seed disk link passes
-    scheme verbose jobs =
+    scheme verbose jobs metrics =
   setup_logs verbose jobs;
+  with_metrics metrics @@ fun () ->
   let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
   let cfg =
     Vod_core.Pipeline.default_config ~scenario:sc
@@ -237,8 +267,9 @@ let simulate topology topology_file trace_file videos days rpv seed disk link pa
 
 (* ---- sweep ---- *)
 
-let sweep topology topology_file videos days rpv seed link verbose jobs =
+let sweep topology topology_file videos days rpv seed link verbose jobs metrics =
   setup_logs verbose jobs;
+  with_metrics metrics @@ fun () ->
   let sc = scenario_of ?topology_file ~topology ~videos ~days ~rpv ~seed () in
   let demand = Vod_core.Scenario.demand_of_week sc ~day0:0 () in
   let graph = sc.Vod_core.Scenario.graph in
@@ -265,27 +296,27 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Trace analytics (working set, request-mix similarity)")
     Term.(
       const stats $ topology_t $ topology_file_t $ trace_file_t $ trace_out_t
-      $ videos_t $ days_t $ rpv_t $ seed_t $ verbose_t $ jobs_t)
+      $ videos_t $ days_t $ rpv_t $ seed_t $ verbose_t $ jobs_t $ metrics_t)
 
 let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Solve one placement instance")
     Term.(
       const solve $ topology_t $ topology_file_t $ trace_file_t $ placement_out_t
       $ videos_t $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ verbose_t
-      $ jobs_t)
+      $ jobs_t $ metrics_t)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Replay the trace against a distribution scheme")
     Term.(
       const simulate $ topology_t $ topology_file_t $ trace_file_t $ videos_t
       $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ scheme_t $ verbose_t
-      $ jobs_t)
+      $ jobs_t $ metrics_t)
 
 let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Feasibility sweep: min disk per link capacity")
     Term.(
       const sweep $ topology_t $ topology_file_t $ videos_t $ days_t $ rpv_t
-      $ seed_t $ link_t $ verbose_t $ jobs_t)
+      $ seed_t $ link_t $ verbose_t $ jobs_t $ metrics_t)
 
 let () =
   let info =

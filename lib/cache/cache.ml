@@ -29,7 +29,19 @@ type t = {
   mutable used_gb : float;
   mutable clock : int;
   entries : (int, entry) Hashtbl.t;  (* video -> entry *)
+  (* Side-band metric names, precomputed once so the hot path never
+     allocates them (Obs calls are no-ops unless --metrics is on). *)
+  m_hits : string;
+  m_misses : string;
+  m_inserts : string;
+  m_evictions : string;
+  m_stream_locked : string;
+  m_too_big : string;
 }
+
+module Obs = Vod_obs.Obs
+
+let policy_tag = function Lru -> "lru" | Lfu -> "lfu" | Lrfu _ -> "lrfu"
 
 let create ~policy ~capacity_gb =
   if capacity_gb < 0.0 then invalid_arg "Cache.create: negative capacity";
@@ -37,7 +49,20 @@ let create ~policy ~capacity_gb =
   | Lrfu lambda when lambda <= 0.0 || lambda > 1.0 ->
       invalid_arg "Cache.create: LRFU lambda must be in (0, 1]"
   | Lrfu _ | Lru | Lfu -> ());
-  { policy; capacity_gb; used_gb = 0.0; clock = 0; entries = Hashtbl.create 64 }
+  let p = "cache/" ^ policy_tag policy in
+  {
+    policy;
+    capacity_gb;
+    used_gb = 0.0;
+    clock = 0;
+    entries = Hashtbl.create 64;
+    m_hits = p ^ "/hits";
+    m_misses = p ^ "/misses";
+    m_inserts = p ^ "/inserts";
+    m_evictions = p ^ "/evictions";
+    m_stream_locked = p ^ "/stream_locked";
+    m_too_big = p ^ "/too_big";
+  }
 
 (* Decayed combined-recency-frequency value of an entry as of the current
    clock. *)
@@ -56,8 +81,11 @@ let mem t video = Hashtbl.mem t.entries video
    to [busy_until]. *)
 let touch t video ~busy_until =
   match Hashtbl.find_opt t.entries video with
-  | None -> false
+  | None ->
+      Obs.incr t.m_misses;
+      false
   | Some e ->
+      Obs.incr t.m_hits;
       t.clock <- t.clock + 1;
       (match t.policy with
       | Lrfu lambda -> e.crf <- 1.0 +. crf_now t e ~lambda
@@ -98,13 +126,20 @@ let victim t ~now =
    frees space before discovering the admission fails. *)
 let insert t video ~size_gb ~now ~busy_until =
   if mem t video then (true, [])
-  else if size_gb > t.capacity_gb then (false, [])
+  else if size_gb > t.capacity_gb then begin
+    Obs.incr t.m_too_big;
+    (false, [])
+  end
   else begin
     let evicted = ref [] in
     let ok = ref true in
     while !ok && t.used_gb +. size_gb > t.capacity_gb do
       match victim t ~now with
-      | None -> ok := false
+      | None ->
+          (* Residents exist but every one is inside a stream lock:
+             the paper's "no space" outcome (Fig. 9). *)
+          Obs.incr t.m_stream_locked;
+          ok := false
       | Some v -> (
           (* [victim] only returns keys it just saw in [t.entries], and
              nothing removes entries between that scan and this lookup,
@@ -117,12 +152,16 @@ let insert t video ~size_gb ~now ~busy_until =
               t.used_gb <- t.used_gb -. e.size_gb;
               evicted := v :: !evicted)
     done;
+    (match !evicted with
+    | [] -> ()
+    | l -> Obs.incr ~by:(List.length l) t.m_evictions);
     if not !ok then (false, !evicted)
     else begin
       t.clock <- t.clock + 1;
       Hashtbl.replace t.entries video
         { size_gb; last_use = t.clock; freq = 1; crf = 1.0; busy_until };
       t.used_gb <- t.used_gb +. size_gb;
+      Obs.incr t.m_inserts;
       (true, !evicted)
     end
   end

@@ -20,8 +20,10 @@ type outcome = {
 (** Scheme name for reports. *)
 val name : t -> string
 
+(** Number of VHOs in the fleet. *)
 val n_vhos : t -> int
 
+(** Whether [video] has a pinned (placement-managed) copy at [vho]. *)
 val pinned_at : t -> video:int -> vho:int -> bool
 
 (** Pin a copy and register it with the oracle (idempotent). *)

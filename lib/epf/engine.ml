@@ -88,6 +88,13 @@ let src = Logs.Src.create "vod.epf" ~doc:"EPF decomposition solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Side-band telemetry (see METRICS.md). Recording is write-only from
+   the solver's point of view: the obs-taint lint rule statically
+   rejects any read of Obs values under lib/, so nothing here can feed
+   back into the numerics, and every call is a no-op unless a registry
+   is installed ([--metrics]). *)
+module Obs = Vod_obs.Obs
+
 type 'a state = {
   p : params;
   capacities : float array;
@@ -244,7 +251,12 @@ let step_block ?stats st k =
       let combo =
         List.map (fun (p, w) -> (p, w *. (1.0 -. tau))) st.combos.(k)
       in
-      st.combos.(k) <- prune_combo ((hat, tau) :: combo);
+      let pruned = prune_combo ((hat, tau) :: combo) in
+      if Obs.active () then
+        Obs.incr
+          ~by:(List.length combo + 1 - List.length pruned)
+          "epf/combo/pruned_points";
+      st.combos.(k) <- pruned;
       st.blk_usage.(k) <- Sparse.axpby (1.0 -. tau) st.blk_usage.(k) tau hat.usage;
       st.blk_obj.(k) <- ((1.0 -. tau) *. st.blk_obj.(k)) +. (tau *. hat.obj);
       st.objective <- st.objective +. (tau *. delta_obj);
@@ -290,12 +302,12 @@ let try_duals st ?(mult = 1.0) duals duals_obj =
 
 let lower_bound_pass st =
   if st.p.feasibility_only then ()
-  else begin
-    (* Both the smoothed duals (Algorithm 1) and the instantaneous ones
-       are valid multipliers; take the better bound. *)
-    try_duals st st.smoothed st.smoothed_obj;
-    try_duals st st.prices st.price_obj
-  end
+  else
+    Obs.phase "lb" (fun () ->
+        (* Both the smoothed duals (Algorithm 1) and the instantaneous
+           ones are valid multipliers; take the better bound. *)
+        try_duals st st.smoothed st.smoothed_obj;
+        try_duals st st.prices st.price_obj)
 
 (* Objective-target control. The paper sets B <- LB, which works when the
    block lower bounds are near-exact; with heuristic dual-ascent bounds
@@ -333,6 +345,33 @@ let update_target st ~dc =
       refresh_alpha st
     end;
     refresh_prices st
+  end
+
+(* Per-pass solver telemetry: the convergence series the paper reasons
+   with (Sec. VI) — objective, Lagrangian bound, relative gap, max and
+   count of violated rows, and the exact potential. Guarded because
+   the potential evaluation is a full O(m) sweep worth paying only
+   when metrics are being collected. *)
+let record_pass_metrics st ~dc =
+  if Obs.active () then begin
+    Obs.incr "epf/passes";
+    Obs.push "epf/pass/objective" st.objective;
+    Obs.push "epf/pass/lower_bound" st.lb;
+    Obs.push "epf/pass/gap"
+      (if st.lb > 0.0 then (st.objective -. st.lb) /. st.lb else 0.0);
+    Obs.push "epf/pass/violation" (Float.max dc 0.0);
+    let viol = ref 0 in
+    for i = 0 to n_rows st - 1 do
+      if rel_infeas st i > st.p.epsilon then viol := !viol + 1
+    done;
+    Obs.push "epf/pass/violated_rows" (float_of_int !viol);
+    let pot = ref 0.0 in
+    for i = 0 to n_rows st - 1 do
+      pot := !pot +. safe_exp (st.alpha *. rel_infeas st i)
+    done;
+    if not st.p.feasibility_only then
+      pot := !pot +. safe_exp (st.alpha *. obj_infeas st);
+    Obs.push "epf/pass/potential" !pot
   end
 
 let update_smoothed st =
@@ -419,6 +458,7 @@ let init (p : params) ~pool ~capacities ~oracles =
    construction: initial-point construction, the Lagrangian
    lower-bound sweeps, and the rounding/polish candidate oracles. *)
 let run_pass st =
+  Obs.phase "pass" @@ fun () ->
   let n = Array.length st.oracles in
   let order =
     if st.p.shuffle then Vod_util.Rng.permutation st.rng n
@@ -449,6 +489,7 @@ let run_pass st =
   update_smoothed st;
   lower_bound_pass st;
   update_target st ~dc;
+  record_pass_metrics st ~dc;
   dc
 
 (* Rounding pass (paper Sec. V-D). Every fractional block (a combination
@@ -460,7 +501,10 @@ let run_pass st =
    the fractional one, which is what keeps the post-rounding violation
    small (the paper reports < 1-4%). *)
 let round_pass ?(only_fractional = true) st =
+  Obs.phase "round" @@ fun () ->
+  Obs.incr "epf/round/passes";
   let snap k (hat : _ point) =
+    Obs.incr "epf/round/snaps";
     Sparse.add_into st.usage (-1.0) st.blk_usage.(k);
     Sparse.add_into st.usage 1.0 hat.usage;
     st.objective <- st.objective -. st.blk_obj.(k) +. hat.obj;
@@ -519,18 +563,23 @@ let round_pass ?(only_fractional = true) st =
       considered
   in
   Array.iteri (fun i k -> fresh_of.(k) <- Some fresh_pts.(i)) considered;
+  if Obs.active () then
+    Obs.incr ~by:(Array.length considered) "epf/round/fresh_candidates";
   Array.iter
     (fun k ->
       let consider combo =
         (* [wants_fresh k] held when the candidates were precomputed,
            so the slot is filled. *)
         let fresh = Option.get fresh_of.(k) in
+        let fresh_m = merit k fresh in
+        if Obs.active () then Obs.observe "epf/round/candidate_merit" fresh_m;
         let best, best_m =
           List.fold_left
             (fun (bp, bm) (pt, _) ->
               let m = merit k pt in
+              if Obs.active () then Obs.observe "epf/round/candidate_merit" m;
               if m < bm then (pt, m) else (bp, bm))
-            (fresh, merit k fresh)
+            (fresh, fresh_m)
             combo
         in
         (* On an already-integral block only snap strict improvements. *)
@@ -545,6 +594,7 @@ let round_pass ?(only_fractional = true) st =
    fresh oracle point if that strictly decreases the potential — a cheap
    large-neighborhood descent on the integer solution. *)
 let polish st =
+  Obs.phase "polish" @@ fun () ->
   for _ = 1 to st.p.polish_passes do
     round_pass ~only_fractional:false st;
     recompute st;
@@ -578,7 +628,7 @@ let solve ?(round = true) (p : params) ~capacities ~oracles =
   (* One pool for the whole solve; workers park between parallel
      phases, so the sequential Gauss-Seidel passes pay nothing for it. *)
   Vod_util.Pool.with_pool ~jobs:p.jobs (fun pool ->
-  let st = init p ~pool ~capacities ~oracles in
+  let st = Obs.phase "init" (fun () -> init p ~pool ~capacities ~oracles) in
   let passes = ref 0 in
   let stop = ref false in
   (* Plateau detection: once epsilon-feasible, keep squeezing the
@@ -628,9 +678,10 @@ let solve ?(round = true) (p : params) ~capacities ~oracles =
      by a uniform scale (the B control distorts pi_0); probing a grid of
      scalings often recovers several percent of the bound. *)
   if not p.feasibility_only then
-    List.iter
-      (fun mult -> try_duals st ~mult st.smoothed st.smoothed_obj)
-      [ 0.25; 0.5; 2.0; 4.0; 8.0; 16.0; 32.0 ];
+    Obs.phase "final_lb" (fun () ->
+        List.iter
+          (fun mult -> try_duals st ~mult st.smoothed st.smoothed_obj)
+          [ 0.25; 0.5; 2.0; 4.0; 8.0; 16.0; 32.0 ]);
   let pre_round_objective = st.objective in
   let pre_round_violation = Float.max (max_coupling_infeas st) 0.0 in
   if round && not p.feasibility_only then begin

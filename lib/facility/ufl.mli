@@ -16,8 +16,10 @@ type solution = {
   cost : float;
 }
 
+(** Number of candidate facilities in the instance. *)
 val n_facilities : t -> int
 
+(** Number of clients in the instance. *)
 val n_clients : t -> int
 
 (** Raises [Invalid_argument] on negative/NaN costs, ragged service rows,

@@ -10,8 +10,16 @@ type entry = { b_file : string; b_rule : string; b_message : string }
 type t = entry list
 
 val empty : t
+(** The baseline that accepts nothing. *)
+
 val of_string : string -> t
+(** Parse the serialized form; comment ([#]) and blank lines are
+    skipped, malformed lines ignored. *)
+
 val of_diagnostics : Diagnostic.t list -> t
+(** Baseline accepting exactly the given findings (used by
+    [--baseline-add]). *)
+
 val to_string : t -> string
 (** Serialized form, including the explanatory header; entries sorted
     and de-duplicated so the file is diff-stable. *)
@@ -20,6 +28,7 @@ val load : string -> t
 (** Missing file loads as {!empty}. *)
 
 val save : string -> t -> unit
+(** Write {!to_string} to the given path. *)
 
 type applied = {
   fresh : Diagnostic.t list;  (** findings not covered by the baseline *)
@@ -28,4 +37,8 @@ type applied = {
 }
 
 val apply : t -> Diagnostic.t list -> applied
+(** Partition findings against the baseline: what is fresh, what is
+    absorbed, and which entries are stale. *)
+
 val entry_to_string : entry -> string
+(** One serialized [file TAB rule TAB message] line (no newline). *)

@@ -18,12 +18,25 @@ type kind =
 type set
 
 val empty : set
+(** The pure (no-effect) summary. *)
+
 val singleton : kind -> set
+(** The set containing exactly one effect kind. *)
+
 val add : kind -> set -> set
+(** [add k s] is [union (singleton k) s]. *)
+
 val mem : kind -> set -> bool
+(** Membership test. *)
+
 val union : set -> set -> set
+(** Set union — the join used when merging callee summaries. *)
+
 val inter : set -> set -> set
+(** Set intersection. *)
+
 val is_empty : set -> bool
+(** Whether the set is {!empty} (the function looks pure). *)
 
 val describe : kind -> string
 (** Human-readable phrase, e.g. ["mutates captured state"]. *)
@@ -83,5 +96,10 @@ val normalize : string -> string
     qualified name, so ["Vod_util.Pool.map"] and ["Pool.map"] coincide. *)
 
 val module_name_of_path : string -> string
+(** ["lib/util/pool.ml"] → ["Pool"]: the module name a path defines,
+    used to key cross-module summary lookups. *)
 
 val analyze_impl : path:string -> Parsetree.structure -> file_analysis
+(** Analyze one implementation file: per-function effect summaries plus
+    every pool submission site. Purely syntactic — never raises on odd
+    but parseable code. *)

@@ -26,8 +26,16 @@ let all =
     {
       id = "wallclock-in-solver";
       doc =
-        "Sys.time/Unix.gettimeofday in lib/: wall-clock readings must never \
-         feed solver numerics";
+        "Sys.time/Unix.gettimeofday in lib/ outside lib/obs: wall-clock \
+         readings must never feed solver numerics (the metrics layer is the \
+         one quarantined clock user)";
+    };
+    {
+      id = "obs-taint";
+      doc =
+        "Obs reading API (Obs.read/names/report/to_json/write_json) used in \
+         lib/ outside lib/obs: metric values must never flow back into \
+         solver numerics; reading belongs to the bin/ and bench/ front ends";
     };
   ]
 
@@ -37,6 +45,11 @@ let has_prefix p s =
   String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
 let in_lib path = has_prefix "lib/" path || has_prefix "./lib/" path
+
+(* lib/obs is the quarantined observability layer: the one lib/
+   directory allowed to read the clock (wallclock-in-solver) and to
+   read registries back (obs-taint) — its whole purpose. *)
+let in_obs path = has_prefix "lib/obs/" path || has_prefix "./lib/obs/" path
 
 (* The pool implementation itself writes per-task result slots from
    inside its own worker loop; that is the one sanctioned shared-state
@@ -269,7 +282,7 @@ let float_order ~file (str : structure) =
 let wallclock_names = [ "Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
 
 let wallclock ~file (str : structure) =
-  if not (in_lib file) then []
+  if (not (in_lib file)) || in_obs file then []
   else begin
     let diags = ref [] in
     let it =
@@ -297,6 +310,45 @@ let wallclock ~file (str : structure) =
   end
 
 (* ------------------------------------------------------------------ *)
+(* obs-taint                                                           *)
+
+(* The recording half of Vod_obs.Obs (incr/observe/push/phase/...) is
+   free to appear anywhere: it is write-only and no-ops without a
+   registry. The *reading* half is how a metric value could leak back
+   into solver numerics, so under lib/ (outside lib/obs itself) any
+   mention of it is a finding. Matching is on the normalized qualified
+   name, which covers [Vod_obs.Obs.read], [Obs.read] after [module Obs
+   = Vod_obs.Obs], and [Obs.read] under [open Vod_obs] alike. *)
+let obs_readers =
+  [ "Obs.read"; "Obs.names"; "Obs.report"; "Obs.to_json"; "Obs.write_json" ]
+
+let obs_taint ~file (str : structure) =
+  if (not (in_lib file)) || in_obs file then []
+  else begin
+    let diags = ref [] in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self ce ->
+            (match ce.pexp_desc with
+            | Pexp_ident { txt; _ }
+              when List.mem (Effects.normalize (lid_name txt)) obs_readers ->
+                diags :=
+                  Diagnostic.make ~file ~loc:ce.pexp_loc ~rule:"obs-taint"
+                    "Obs reading API in lib/: a metric value read here could \
+                     feed solver numerics and break determinism; export \
+                     registries from the bin/ or bench/ front ends instead"
+                  :: !diags
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self ce);
+      }
+    in
+    it.structure it str;
+    !diags
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let run ?(disabled = []) (files : (string * structure) list) =
@@ -311,7 +363,8 @@ let run ?(disabled = []) (files : (string * structure) list) =
         (if enabled "par-race" then par_race ~table fa else [])
         @ (if enabled "float-order" then float_order ~file:path str else [])
         @ (if enabled "wallclock-in-solver" then wallclock ~file:path str
-           else []))
+           else [])
+        @ (if enabled "obs-taint" then obs_taint ~file:path str else []))
       (List.combine files analyses)
   in
   per_file

@@ -10,12 +10,23 @@
     - [float-order] — float accumulation inside [Hashtbl.iter]/[fold];
       the sum depends on table insertion/resize history.
     - [wallclock-in-solver] — [Sys.time]/[Unix.gettimeofday]/[Unix.time]
-      anywhere under [lib/]. *)
+      anywhere under [lib/] except [lib/obs/], the quarantined metrics
+      layer whose timers are the sanctioned clock users.
+    - [obs-taint] — the {!Vod_obs.Obs} reading API
+      ([read]/[names]/[report]/[to_json]/[write_json]) anywhere under
+      [lib/] except [lib/obs/] itself: a metric value read back inside
+      the library could feed solver numerics, silently breaking the
+      determinism contract the recording side is careful to keep.
+      Exporting registries belongs to the [bin/] and [bench/] front
+      ends. *)
 
 type t = { id : string; doc : string }
 
 val all : t list
+(** Every project rule, in presentation order (for [--list-rules]). *)
+
 val find : string -> t option
+(** Look a rule up by id. *)
 
 val run :
   ?disabled:string list ->

@@ -1,0 +1,38 @@
+(** Resumable per-exhibit checkpoints for the benchmark harness.
+
+    A checkpoint directory holds, per completed exhibit [name]:
+
+    - [<name>.section.txt] — everything the exhibit printed to stdout;
+    - [<name>.metrics.json] — the exhibit's {!Obs.to_json} registry;
+    - [<name>.done] — the completion marker, written {e last}, so a
+      run killed mid-exhibit re-runs that exhibit on resume instead of
+      trusting a truncated section.
+
+    {!run} executes an exhibit with stdout redirected into the section
+    file (then replays it to the real stdout, so live output is
+    unchanged apart from per-exhibit buffering), or — when the marker
+    already exists — skips the exhibit entirely and replays the
+    recorded section. Either way the console transcript of a resumed
+    run matches an uninterrupted one. *)
+
+type outcome =
+  | Ran  (** the exhibit executed and its checkpoint files were written *)
+  | Restored  (** a completed checkpoint existed; its section was replayed *)
+
+val completed : dir:string -> name:string -> bool
+(** Whether [dir] holds a completion marker for exhibit [name]. *)
+
+val run : dir:string -> name:string -> (unit -> unit) -> outcome
+(** [run ~dir ~name f] creates [dir] if needed and either replays the
+    completed checkpoint for [name], or runs [f] with stdout captured
+    to [<name>.section.txt] and a private {!Obs} registry installed
+    (its phase/metric recordings go to [<name>.metrics.json]). On
+    completion the private registry is also merged into the ambient
+    registry, if one is installed (a bench [--metrics] run); restored
+    exhibits contribute nothing to the ambient registry because their
+    JSON is not re-parsed — the per-exhibit file remains the source of
+    truth.
+
+    If [f] raises, stdout is restored, the partial section is replayed
+    with a [<name>.section.part] file left behind for inspection, no
+    marker is written, and the exception is re-raised. *)

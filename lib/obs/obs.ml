@@ -1,0 +1,358 @@
+(* Side-band metrics registry. All wall-clock access of lib/ is
+   quarantined here (the wallclock-in-solver lint rule exempts lib/obs);
+   the obs-taint rule keeps the reading API out of lib/ so no recorded
+   value can flow back into solver numerics. *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric =
+  | MCounter of int ref
+  | MGauge of float ref
+  | MHist of hist
+  | MSeries of float list ref (* newest first; reversed on export *)
+
+type t = (string, metric) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+(* Ambient per-domain recording sink and phase stack. Pool task
+   buffers swap both in, so a task records into its own buffer with a
+   fresh stack regardless of which domain runs it. *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let stack_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let active () =
+  match Domain.DLS.get current_key with Some _ -> true | None -> false
+
+let with_run reg f =
+  let saved = Domain.DLS.get current_key in
+  let saved_stack = Domain.DLS.get stack_key in
+  Domain.DLS.set current_key (Some reg);
+  Domain.DLS.set stack_key [];
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set current_key saved;
+      Domain.DLS.set stack_key saved_stack)
+    f
+
+(* {2 Recording} *)
+
+let kind_name = function
+  | MCounter _ -> "counter"
+  | MGauge _ -> "gauge"
+  | MHist _ -> "histogram"
+  | MSeries _ -> "series"
+
+let mismatch name m want =
+  invalid_arg
+    (Printf.sprintf "Obs: metric %S is a %s, not a %s" name (kind_name m) want)
+
+(* Registry-explicit recorders, shared by the ambient API, [merge] and
+   [batch_end] (which must target a specific registry, not whatever
+   sink happens to be installed). *)
+
+let incr_on reg ~by name =
+  match Hashtbl.find_opt reg name with
+  | Some (MCounter r) -> r := !r + by
+  | Some m -> mismatch name m "counter"
+  | None -> Hashtbl.replace reg name (MCounter (ref by))
+
+let set_gauge_on reg name v =
+  match Hashtbl.find_opt reg name with
+  | Some (MGauge r) -> r := v
+  | Some m -> mismatch name m "gauge"
+  | None -> Hashtbl.replace reg name (MGauge (ref v))
+
+let observe_on reg name v =
+  match Hashtbl.find_opt reg name with
+  | Some (MHist h) ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+  | Some m -> mismatch name m "histogram"
+  | None ->
+      Hashtbl.replace reg name
+        (MHist { h_count = 1; h_sum = v; h_min = v; h_max = v })
+
+let push_on reg name v =
+  match Hashtbl.find_opt reg name with
+  | Some (MSeries r) -> r := v :: !r
+  | Some m -> mismatch name m "series"
+  | None -> Hashtbl.replace reg name (MSeries (ref [ v ]))
+
+let incr ?(by = 1) name =
+  match Domain.DLS.get current_key with
+  | None -> ()
+  | Some reg -> incr_on reg ~by name
+
+let set_gauge name v =
+  match Domain.DLS.get current_key with
+  | None -> ()
+  | Some reg -> set_gauge_on reg name v
+
+let observe name v =
+  match Domain.DLS.get current_key with
+  | None -> ()
+  | Some reg -> observe_on reg name v
+
+let push name v =
+  match Domain.DLS.get current_key with
+  | None -> ()
+  | Some reg -> push_on reg name v
+
+let phase name f =
+  match Domain.DLS.get current_key with
+  | None -> f ()
+  | Some reg ->
+      let stack = Domain.DLS.get stack_key in
+      let full =
+        "phase/" ^ String.concat "/" (List.rev (name :: stack)) ^ "_seconds"
+      in
+      Domain.DLS.set stack_key (name :: stack);
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Unix.gettimeofday () -. t0 in
+          Domain.DLS.set stack_key stack;
+          observe_on reg full dt)
+        f
+
+(* {2 Reading and export} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; min : float; max : float }
+  | Series of float array
+
+let value_of = function
+  | MCounter r -> Counter !r
+  | MGauge r -> Gauge !r
+  | MHist h ->
+      Histogram { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max }
+  | MSeries r -> Series (Array.of_list (List.rev !r))
+
+let read reg name = Option.map value_of (Hashtbl.find_opt reg name)
+
+let names reg =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) reg [])
+
+(* %.17g round-trips every finite double and is locale-independent, so
+   equal registry contents export byte-identically. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e16 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let json_float v = if Float.is_finite v then float_str v else "null"
+
+let report reg =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      Buffer.add_string b name;
+      Buffer.add_char b ' ';
+      (match Hashtbl.find_opt reg name with
+      | None -> ()
+      | Some (MCounter r) -> Buffer.add_string b (string_of_int !r)
+      | Some (MGauge r) -> Buffer.add_string b (float_str !r)
+      | Some (MHist h) ->
+          Buffer.add_string b
+            (Printf.sprintf "count=%d sum=%s min=%s max=%s" h.h_count
+               (float_str h.h_sum) (float_str h.h_min) (float_str h.h_max))
+      | Some (MSeries r) ->
+          Buffer.add_char b '[';
+          List.iteri
+            (fun i v ->
+              if i > 0 then Buffer.add_string b "; ";
+              Buffer.add_string b (float_str v))
+            (List.rev !r);
+          Buffer.add_char b ']');
+      Buffer.add_char b '\n')
+    (names reg);
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One top-level key per line (nested histogram objects stay inline):
+   tools/check.sh extracts the emitted names with a line-anchored grep
+   to validate them against METRICS.md. *)
+let to_json reg =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  \"";
+      Buffer.add_string b (json_escape name);
+      Buffer.add_string b "\": ";
+      match Hashtbl.find_opt reg name with
+      | None -> Buffer.add_string b "null"
+      | Some (MCounter r) -> Buffer.add_string b (string_of_int !r)
+      | Some (MGauge r) -> Buffer.add_string b (json_float !r)
+      | Some (MHist h) ->
+          let mean = if h.h_count > 0 then h.h_sum /. float_of_int h.h_count else 0.0 in
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"mean\": %s}"
+               h.h_count (json_float h.h_sum) (json_float h.h_min)
+               (json_float h.h_max) (json_float mean))
+      | Some (MSeries r) ->
+          Buffer.add_char b '[';
+          List.iteri
+            (fun j v ->
+              if j > 0 then Buffer.add_string b ", ";
+              Buffer.add_string b (json_float v))
+            (List.rev !r);
+          Buffer.add_char b ']')
+    (names reg);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let write_json reg path =
+  let s = to_json reg in
+  if String.equal path "-" then begin
+    (* [output_string], not the Printf/print_* family: this is the one
+       sanctioned stdout export path of the metrics layer, invoked by
+       the bin/ and bench/ front ends on an explicit [--metrics -]. *)
+    output_string stdout s;
+    flush stdout
+  end
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc s)
+  end
+
+let merge ~into src =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt src name with
+      | None -> ()
+      | Some (MCounter r) -> incr_on into ~by:!r name
+      | Some (MGauge r) -> set_gauge_on into name !r
+      | Some (MHist h) -> (
+          match Hashtbl.find_opt into name with
+          | Some (MHist d) ->
+              d.h_count <- d.h_count + h.h_count;
+              d.h_sum <- d.h_sum +. h.h_sum;
+              if h.h_min < d.h_min then d.h_min <- h.h_min;
+              if h.h_max > d.h_max then d.h_max <- h.h_max
+          | Some m -> mismatch name m "histogram"
+          | None ->
+              Hashtbl.replace into name
+                (MHist
+                   {
+                     h_count = h.h_count;
+                     h_sum = h.h_sum;
+                     h_min = h.h_min;
+                     h_max = h.h_max;
+                   }))
+      | Some (MSeries r) ->
+          (* Oldest-first append so [src]'s sequence extends [into]'s. *)
+          List.iter (fun v -> push_on into name v) (List.rev !r))
+    (names src)
+
+let merge_into_current src =
+  match Domain.DLS.get current_key with
+  | None -> ()
+  | Some reg -> merge ~into:reg src
+
+(* {2 Pool integration} *)
+
+type batch_state = {
+  parent : t;
+  bufs : t option array; (* slot i written only by task i's runner *)
+  busy : float array; (* slot d written only by domain d *)
+  chunks : int array; (* ditto *)
+  n : int;
+}
+
+type batch_obs = Off | On of batch_state
+
+let batch_begin ~n ~jobs f =
+  match Domain.DLS.get current_key with
+  | None -> (Off, f)
+  | Some parent ->
+      let slots = max 1 jobs in
+      let o =
+        {
+          parent;
+          bufs = Array.make n None;
+          busy = Array.make slots 0.0;
+          chunks = Array.make slots 0;
+          n;
+        }
+      in
+      let wrapped i =
+        let buf = create () in
+        o.bufs.(i) <- Some buf;
+        let saved = Domain.DLS.get current_key in
+        let saved_stack = Domain.DLS.get stack_key in
+        Domain.DLS.set current_key (Some buf);
+        Domain.DLS.set stack_key [];
+        Fun.protect
+          ~finally:(fun () ->
+            Domain.DLS.set current_key saved;
+            Domain.DLS.set stack_key saved_stack)
+          (fun () -> f i)
+      in
+      (On o, wrapped)
+
+let batch_chunk ctx ~slot body =
+  match ctx with
+  | Off -> body ()
+  | On o ->
+      let slot = if slot < 0 || slot >= Array.length o.busy then 0 else slot in
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          (* This write happens before the pool's release of the batch
+             (the finished-counter fetch_add), so [batch_end]'s reads
+             in the submitting domain are ordered after it. *)
+          o.busy.(slot) <- o.busy.(slot) +. (Unix.gettimeofday () -. t0);
+          o.chunks.(slot) <- o.chunks.(slot) + 1)
+        body
+
+let batch_end ctx =
+  match ctx with
+  | Off -> ()
+  | On o ->
+      (* Task order, not completion order: this is what makes merged
+         counters/histograms/series identical at any --jobs count. *)
+      for i = 0 to o.n - 1 do
+        match o.bufs.(i) with
+        | None -> ()
+        | Some buf -> merge ~into:o.parent buf
+      done;
+      incr_on o.parent ~by:o.n "pool/tasks";
+      incr_on o.parent ~by:1 "pool/batches";
+      let total_chunks = Array.fold_left ( + ) 0 o.chunks in
+      if total_chunks > 0 then
+        incr_on o.parent ~by:total_chunks "pool/sched/chunks";
+      Array.iteri
+        (fun slot busy ->
+          if o.chunks.(slot) > 0 then
+            observe_on o.parent
+              (Printf.sprintf "pool/sched/domain%d_busy_seconds" slot)
+              busy)
+        o.busy

@@ -1,0 +1,165 @@
+(** Side-band metrics and phase tracing for the solver, the simulator
+    and the benchmark harness.
+
+    A registry ({!t}) collects four metric kinds — counters, gauges,
+    histograms and series — plus nestable wall-clock phase timers, and
+    exports them as deterministically sorted text ({!report}) or JSON
+    ({!to_json}). Recording goes through an ambient {e current}
+    registry installed per domain by {!with_run}: when no registry is
+    installed (the default), every recording function is a no-op that
+    performs no allocation and reads no clock, so instrumented hot
+    paths cost nothing in production runs.
+
+    {2 Determinism contract}
+
+    Metric {e values} may come from the wall clock (phase timers, the
+    pool's busy-time gauges) — those are the observability layer's
+    business. What must never happen is the reverse flow: an
+    [Obs]-derived value feeding solver numerics. Two mechanisms defend
+    this:
+
+    - the [obs-taint] vodlint project rule statically rejects any use
+      of the reading API ({!read}, {!names}, {!report}, {!to_json})
+      under [lib/] outside [lib/obs] itself — reading belongs to the
+      [bin/] and [bench/] front ends;
+    - recording inside {!Vod_util.Pool} tasks is buffered per task
+      index ({!batch_begin}) and merged in task order in the
+      submitting domain, so for a fixed seed the full report is
+      byte-identical at any [--jobs] count, except for keys ending in
+      [_seconds] and the scheduling-dependent [pool/sched/*] keys
+      (see METRICS.md, "Jobs invariance").
+
+    All wall-clock access of the repository's [lib/] layer is
+    quarantined in this directory: the [wallclock-in-solver] lint rule
+    exempts [lib/obs] and nothing else. *)
+
+type t
+(** A metric registry. Registries are single-domain values: record
+    into one either from the domain that created it, or through the
+    per-task buffers of {!batch_begin}. *)
+
+val create : unit -> t
+(** A fresh, empty registry. *)
+
+val with_run : t -> (unit -> 'a) -> 'a
+(** [with_run reg f] installs [reg] as the current domain's recording
+    sink for the duration of [f] (restoring the previous sink, if any,
+    on every exit path) and resets the phase stack. Nesting is
+    allowed; the innermost registry wins. *)
+
+val active : unit -> bool
+(** Whether a current registry is installed in this domain. Use to
+    guard derivations that are only worth computing when metrics are
+    being collected (e.g. a full potential evaluation). Values guarded
+    this way must only ever be passed to recording functions. *)
+
+(** {2 Recording}
+
+    Every function below is a no-op when {!active} is [false]. A name
+    must keep one kind for the lifetime of a registry; re-recording an
+    existing name with a different kind raises [Invalid_argument] —
+    that is a bug at the instrumentation site, not a data error. *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to a counter. *)
+
+val set_gauge : string -> float -> unit
+(** Set a gauge; the last written value wins (task order, for writes
+    made inside pool tasks). *)
+
+val observe : string -> float -> unit
+(** Add one observation to a histogram (count / sum / min / max). *)
+
+val push : string -> float -> unit
+(** Append one value to a series — an append-only float sequence for
+    per-iteration traces (e.g. the EPF lower-bound progression). *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase name f] times [f] on the wall clock and records the elapsed
+    seconds as one {!observe} under
+    [phase/<outer>/.../<name>_seconds], where [<outer>/...] is the
+    stack of enclosing [phase] calls in this domain. Pool task buffers
+    start with an empty stack, so a phase inside a task is named
+    identically at any job count. The timing is recorded on every exit
+    path; [f]'s result (or exception) is passed through unchanged. *)
+
+(** {2 Reading and export}
+
+    Reserved for front ends ([bin/], [bench/]) and for tests: the
+    [obs-taint] lint rule rejects these under [lib/] (outside
+    [lib/obs]). *)
+
+(** One exported metric value. *)
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; min : float; max : float }
+  | Series of float array  (** in recording order *)
+
+val read : t -> string -> value option
+(** Look up one metric by name. *)
+
+val names : t -> string list
+(** All registered names, sorted. *)
+
+val report : t -> string
+(** Text report: one [name value] line per metric, sorted by name.
+    Histograms render as [count=.. sum=.. min=.. max=..], series as a
+    bracketed list. Byte-deterministic for equal registry contents. *)
+
+val to_json : t -> string
+(** The registry as one JSON object, keys sorted. Counters are
+    integers, gauges numbers, histograms objects
+    [{"count","sum","min","max","mean"}], series arrays. Non-finite
+    floats render as [null] (JSON has no representation for them).
+    Byte-deterministic for equal registry contents. *)
+
+val write_json : t -> string -> unit
+(** [write_json reg path] writes {!to_json} to [path] ([-] means
+    stdout), creating or truncating the file. *)
+
+val merge : into:t -> t -> unit
+(** Fold a registry into another: counters add, gauges overwrite,
+    histograms combine, series append. Raises [Invalid_argument] on a
+    kind mismatch between same-named metrics. *)
+
+val merge_into_current : t -> unit
+(** [merge_into_current src] merges [src] into the current domain's
+    installed registry ({!merge} semantics); a no-op when {!active} is
+    [false]. Used by {!Checkpoint} to fold a restored or freshly
+    collected exhibit registry into an ambient [--metrics] run. *)
+
+(** {2 Pool integration}
+
+    Used by {!Vod_util.Pool} only. The pool cannot record directly:
+    its workers run in domains where no registry is installed, and a
+    shared sink would make float merge order scheduling-dependent.
+    Instead the pool brackets every batch with [batch_begin] /
+    [batch_end] and runs each claimed chunk under [batch_chunk]. *)
+
+type batch_obs
+(** Per-batch observability context: one private buffer per task
+    index, plus per-domain-slot busy-time and chunk accounting. When
+    metrics are off this is a unit-cost token and every hook below is
+    an identity. *)
+
+val batch_begin : n:int -> jobs:int -> (int -> unit) -> batch_obs * (int -> unit)
+(** [batch_begin ~n ~jobs f] returns the batch context and a wrapped
+    task body. The wrapper runs [f i] with a fresh buffer registry
+    installed (and an empty phase stack), so recordings made by task
+    [i] land in buffer [i] regardless of which domain executes it.
+    [jobs] sizes the per-domain-slot accounting of {!batch_chunk}. *)
+
+val batch_chunk : batch_obs -> slot:int -> (unit -> unit) -> unit
+(** [batch_chunk ctx ~slot body] runs one claimed chunk, accumulating
+    its wall-clock time and chunk count against domain [slot]
+    (submitter = 0, workers = 1..). Each slot is only ever touched by
+    its own domain. *)
+
+val batch_end : batch_obs -> unit
+(** Merge the task buffers into the submitting registry {e in task
+    order}, then record the pool telemetry: [pool/tasks],
+    [pool/batches], and the scheduling-dependent [pool/sched/chunks]
+    and [pool/sched/domain<slot>_busy_seconds]. Must be called in the
+    submitting domain, after the batch has drained, on every exit
+    path (including a re-raised task failure). *)

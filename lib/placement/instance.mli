@@ -31,8 +31,10 @@ val create :
   unit ->
   t
 
+(** Number of VHOs |V|. *)
 val n_vhos : t -> int
 
+(** Number of directed links |L|. *)
 val n_links : t -> int
 
 (** Number of peak windows |T|. *)

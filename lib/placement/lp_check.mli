@@ -6,8 +6,11 @@
 (** Variable layout helpers (exposed for tests). *)
 val block_size : int -> int
 
+(** Column index of placement variable [y_{video,vho}] (the unnamed
+    [int] is the VHO). *)
 val y_var : n:int -> video:int -> int -> int
 
+(** Column index of routing variable [x_{video,server,client}]. *)
 val x_var : n:int -> video:int -> server:int -> client:int -> int
 
 (** Build the LP. *)

@@ -1,15 +1,22 @@
 (** End-to-end placement solve: block construction, EPF decomposition,
-    rounding, extraction. *)
+    rounding, extraction.
+
+    The pipeline is deterministic: the report is a pure function of
+    [(inst, params)] at any [Engine.params.jobs] count. Wall-clock
+    timing is deliberately absent from {!report} — phase timings are
+    recorded side-band through {!Vod_obs.Obs.phase} (keys
+    [phase/solve/..._seconds], collected only when a [--metrics]
+    registry is installed); callers that want an end-to-end duration
+    time the {!solve} call themselves. *)
 
 type report = {
-  solution : Solution.t;
-  lp_objective : float;    (** fractional objective before rounding *)
-  lp_violation : float;    (** max relative violation before rounding *)
-  passes : int;
-  seconds : float;         (** wall-clock solve time *)
-  words_allocated : float; (** words allocated during the solve (memory proxy) *)
+  solution : Solution.t;  (** the rounded integral placement *)
+  lp_objective : float;  (** fractional objective before rounding *)
+  lp_violation : float;  (** max relative violation before rounding *)
+  passes : int;  (** EPF passes run by the engine's main loop *)
 }
 
-(** Solve an instance with the given engine parameters (defaults:
-    [Vod_epf.Engine.default_params]). *)
 val solve : ?params:Vod_epf.Engine.params -> Instance.t -> report
+(** Solve an instance with the given engine parameters (defaults:
+    [Vod_epf.Engine.default_params]). Logs a one-line summary at info
+    level on the [vod.solve] source. *)

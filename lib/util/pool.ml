@@ -19,6 +19,7 @@ type batch = {
   chunk : int;
   next : int Atomic.t;          (* next unclaimed index *)
   finished : int Atomic.t;      (* tasks fully executed *)
+  obs : Vod_obs.Obs.batch_obs;  (* per-batch metrics context (Off when idle) *)
 }
 
 type t = {
@@ -48,16 +49,20 @@ let set_default_jobs j =
 
 (* Drain the current batch: claim chunks until none remain. Whoever
    retires the last task clears the batch and wakes the submitter. *)
-let drain t (b : batch) =
+let drain t ~slot (b : batch) =
   let continue = ref true in
   while !continue do
     let start = Atomic.fetch_and_add b.next b.chunk in
     if start >= b.n then continue := false
     else begin
       let stop = min (start + b.chunk) b.n in
-      for i = start to stop - 1 do
-        b.run i
-      done;
+      (* The busy-time write inside [batch_chunk] completes before the
+         [finished] fetch_and_add below, so the submitter's
+         [batch_end] reads it after the release/acquire pair. *)
+      Vod_obs.Obs.batch_chunk b.obs ~slot (fun () ->
+          for i = start to stop - 1 do
+            b.run i
+          done);
       let done_now = stop - start in
       let total = done_now + Atomic.fetch_and_add b.finished done_now in
       if total = b.n then begin
@@ -69,7 +74,7 @@ let drain t (b : batch) =
     end
   done
 
-let worker_loop t =
+let worker_loop t ~slot =
   let seen = ref 0 in
   let live = ref true in
   while !live do
@@ -87,7 +92,7 @@ let worker_loop t =
       Mutex.unlock t.mutex;
       (* [b] may already be drained and cleared; then there is nothing
          to claim and we just park again. *)
-      match b with None -> () | Some b -> drain t b
+      match b with None -> () | Some b -> drain t ~slot b
     end
   done
 
@@ -106,7 +111,9 @@ let create ?(jobs = 0) () =
     }
   in
   (* vodlint-disable domain-spawn -- the pool is the one sanctioned spawn site *)
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  (* Slot 0 is the submitter; workers get 1..jobs-1. *)
+  t.workers <-
+    List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t ~slot:(i + 1)));
   t
 
 let jobs t = t.jobs
@@ -153,34 +160,46 @@ let iteri t ~n ~f =
       Mutex.unlock t.mutex;
       busy
     in
-    if t.jobs = 1 || n = 1 || nested then run_inline ~n ~f
-    else begin
-      let first_failure : failure option Atomic.t = Atomic.make None in
-      let run i =
-        try f i
-        with e ->
-          record_failure first_failure (i, e, Printexc.get_raw_backtrace ())
-      in
-      (* Chunks small enough to balance uneven tasks, large enough to
-         keep counter traffic negligible. *)
-      let chunk = max 1 (n / (t.jobs * 8)) in
-      let b = { run; n; chunk; next = Atomic.make 0; finished = Atomic.make 0 } in
-      Mutex.lock t.mutex;
-      t.generation <- t.generation + 1;
-      t.batch <- Some b;
-      Condition.broadcast t.work_ready;
-      Mutex.unlock t.mutex;
-      (* The submitter is a worker too. *)
-      drain t b;
-      Mutex.lock t.mutex;
-      while Atomic.get b.finished < b.n do
-        Condition.wait t.work_done t.mutex
-      done;
-      Mutex.unlock t.mutex;
-      match Atomic.get first_failure with
-      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ()
-    end
+    (* Metrics: buffer each task's recordings per index and merge them
+       in task order in [batch_end], so reports are jobs-invariant (see
+       Vod_obs.Obs). [batch_end] runs on every exit path, including a
+       re-raised task failure, and is a no-op when metrics are off. *)
+    let ctx, f = Vod_obs.Obs.batch_begin ~n ~jobs:t.jobs f in
+    Fun.protect
+      ~finally:(fun () -> Vod_obs.Obs.batch_end ctx)
+      (fun () ->
+        if t.jobs = 1 || n = 1 || nested then
+          Vod_obs.Obs.batch_chunk ctx ~slot:0 (fun () -> run_inline ~n ~f)
+        else begin
+          let first_failure : failure option Atomic.t = Atomic.make None in
+          let run i =
+            try f i
+            with e ->
+              record_failure first_failure (i, e, Printexc.get_raw_backtrace ())
+          in
+          (* Chunks small enough to balance uneven tasks, large enough to
+             keep counter traffic negligible. *)
+          let chunk = max 1 (n / (t.jobs * 8)) in
+          let b =
+            { run; n; chunk; next = Atomic.make 0; finished = Atomic.make 0;
+              obs = ctx }
+          in
+          Mutex.lock t.mutex;
+          t.generation <- t.generation + 1;
+          t.batch <- Some b;
+          Condition.broadcast t.work_ready;
+          Mutex.unlock t.mutex;
+          (* The submitter is a worker too. *)
+          drain t ~slot:0 b;
+          Mutex.lock t.mutex;
+          while Atomic.get b.finished < b.n do
+            Condition.wait t.work_done t.mutex
+          done;
+          Mutex.unlock t.mutex;
+          match Atomic.get first_failure with
+          | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ()
+        end)
   end
 
 let mapi t ~f a =

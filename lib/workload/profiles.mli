@@ -25,7 +25,8 @@ val video_day_weight : Video.t -> day:int -> float
     (VHO, video) pair; no storage, pure hash. *)
 val taste_multiplier : spread:float -> vho:int -> video:int -> float
 
-(** Raw profile tables (exposed for tests). *)
+(** Raw per-day-of-week profile table (exposed for tests). *)
 val day_of_week_weight : float array
 
+(** Raw per-hour-of-day profile table (exposed for tests). *)
 val hour_of_day_weight : float array

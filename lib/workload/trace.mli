@@ -28,8 +28,10 @@ val length : t -> int
 (** Requests whose day lies in [day_lo, day_hi). *)
 val between_days : t -> day_lo:int -> day_hi:int -> request array
 
+(** Visit every request in time order. *)
 val iter : (request -> unit) -> t -> unit
 
+(** Left fold over the requests in time order. *)
 val fold : ('a -> request -> 'a) -> 'a -> t -> 'a
 
 (** Per-video total request counts over the whole trace. *)

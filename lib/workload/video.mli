@@ -33,4 +33,5 @@ val rate_mbps : t -> float
     [day] — the paper's notion of "new video" without request history. *)
 val is_new : day:int -> t -> bool
 
+(** Debug printer. *)
 val pp : Format.formatter -> t -> unit

@@ -290,6 +290,45 @@ let wc_suppressed =
       \  Unix.gettimeofday ()" );
   ]
 
+let wc_obs_layer =
+  (* lib/obs is the quarantined clock user: exempt without suppression. *)
+  [ ("lib/obs/fake_clock.ml", "let now () = Unix.gettimeofday ()") ]
+
+(* obs-taint *)
+
+let ot_read =
+  [
+    ( "lib/fake/ot_read.ml",
+      "let passes t =\n\
+      \  match Vod_obs.Obs.read t \"epf/passes\" with\n\
+      \  | Some (Vod_obs.Obs.Counter n) -> n\n\
+      \  | _ -> 0" );
+  ]
+
+let ot_report_aliased =
+  (* Reading through a [module Obs = Vod_obs.Obs] alias must still be
+     caught: matching is on the normalized qualified name. *)
+  [
+    ( "lib/fake/ot_alias.ml",
+      "module Obs = Vod_obs.Obs\nlet dump t = print_string (Obs.report t)" );
+  ]
+
+let ot_recorders_ok =
+  (* The write-only half is sanctioned anywhere in lib/. *)
+  [
+    ( "lib/fake/ot_rec.ml",
+      "let bump () =\n\
+      \  Vod_obs.Obs.incr \"cache/lru/hits\";\n\
+      \  Vod_obs.Obs.observe \"epf/round/candidate_merit\" 0.5;\n\
+      \  Vod_obs.Obs.phase \"work\" (fun () -> ())" );
+  ]
+
+let ot_frontend_ok =
+  [ ("bin/fake_export.ml", "let dump t = print_string (Vod_obs.Obs.report t)") ]
+
+let ot_obs_layer_ok =
+  [ ("lib/obs/fake_self.ml", "let dump t = Obs.report t") ]
+
 (* project-mode output contract: sorted by (file, line, col, rule), no
    duplicates *)
 let project_output_stable () =
@@ -450,6 +489,20 @@ let suite =
       (check_project_quiet "wallclock-in-solver" wc_bench);
     Alcotest.test_case "wallclock-in-solver suppressible inline" `Quick
       (check_project_quiet "wallclock-in-solver" wc_suppressed);
+    Alcotest.test_case "wallclock-in-solver exempts lib/obs" `Quick
+      (check_project_quiet "wallclock-in-solver" wc_obs_layer);
+    (* project mode: obs-taint *)
+    Alcotest.test_case "obs-taint fires on Obs.read in lib" `Quick
+      (check_project_fires "obs-taint" ~in_file:"lib/fake/ot_read.ml" ot_read);
+    Alcotest.test_case "obs-taint fires through module alias" `Quick
+      (check_project_fires "obs-taint" ~in_file:"lib/fake/ot_alias.ml"
+         ot_report_aliased);
+    Alcotest.test_case "obs-taint quiet on recorder calls" `Quick
+      (check_project_quiet "obs-taint" ot_recorders_ok);
+    Alcotest.test_case "obs-taint quiet outside lib" `Quick
+      (check_project_quiet "obs-taint" ot_frontend_ok);
+    Alcotest.test_case "obs-taint quiet inside lib/obs" `Quick
+      (check_project_quiet "obs-taint" ot_obs_layer_ok);
     (* project mode: output + baseline *)
     Alcotest.test_case "project output sorted and de-duplicated" `Quick
       project_output_stable;

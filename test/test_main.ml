@@ -18,5 +18,6 @@ let () =
       ("chunking+lrfu", Test_chunking.suite);
       ("io", Test_io.suite);
       ("window-refine", Test_refine.suite);
+      ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
     ]

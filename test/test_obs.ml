@@ -1,0 +1,321 @@
+(* Tests for the Vod_obs observability layer: metric semantics,
+   deterministic export, disabled-mode no-op, jobs-invariance of
+   pool-merged metrics, and bench checkpoint write-then-resume. *)
+
+module Obs = Vod_obs.Obs
+module Checkpoint = Vod_obs.Checkpoint
+
+let with_reg f =
+  let reg = Obs.create () in
+  Obs.with_run reg f;
+  reg
+
+(* Drop the keys the jobs-invariance contract excludes: wall-clock
+   values and the scheduling-dependent pool/sched/* telemetry. *)
+let invariant_report reg =
+  Obs.report reg
+  |> String.split_on_char '\n'
+  |> List.filter (fun line ->
+         let has_sub sub =
+           let n = String.length sub and ln = String.length line in
+           let rec go i = i + n <= ln && (String.sub line i n = sub || go (i + 1)) in
+           go 0
+         in
+         line <> "" && (not (has_sub "_seconds")) && not (has_sub "pool/sched/"))
+  |> String.concat "\n"
+
+(* --- recording semantics --- *)
+
+let counter_gauge_hist_series () =
+  let reg =
+    with_reg (fun () ->
+        Obs.incr "c";
+        Obs.incr ~by:4 "c";
+        Obs.set_gauge "g" 1.5;
+        Obs.set_gauge "g" 2.5;
+        Obs.observe "h" 3.0;
+        Obs.observe "h" 1.0;
+        Obs.push "s" 1.0;
+        Obs.push "s" 2.0)
+  in
+  (match Obs.read reg "c" with
+  | Some (Obs.Counter 5) -> ()
+  | _ -> Alcotest.fail "counter should be 5");
+  (match Obs.read reg "g" with
+  | Some (Obs.Gauge v) -> Alcotest.(check (float 0.0)) "last write wins" 2.5 v
+  | _ -> Alcotest.fail "gauge missing");
+  (match Obs.read reg "h" with
+  | Some (Obs.Histogram { count; sum; min; max }) ->
+      Alcotest.(check int) "count" 2 count;
+      Alcotest.(check (float 1e-12)) "sum" 4.0 sum;
+      Alcotest.(check (float 0.0)) "min" 1.0 min;
+      Alcotest.(check (float 0.0)) "max" 3.0 max
+  | _ -> Alcotest.fail "histogram missing");
+  (match Obs.read reg "s" with
+  | Some (Obs.Series a) ->
+      Alcotest.(check (array (float 0.0))) "recording order" [| 1.0; 2.0 |] a
+  | _ -> Alcotest.fail "series missing");
+  Alcotest.(check (list string)) "names sorted" [ "c"; "g"; "h"; "s" ] (Obs.names reg);
+  Alcotest.(check bool) "absent name" true (Obs.read reg "nope" = None)
+
+let disabled_noop () =
+  (* No registry installed: recording must be a silent no-op and
+     [phase] must pass values and exceptions through. *)
+  Alcotest.(check bool) "inactive" false (Obs.active ());
+  Obs.incr "c";
+  Obs.observe "h" 1.0;
+  Obs.push "s" 1.0;
+  Alcotest.(check int) "phase passes value" 42 (Obs.phase "p" (fun () -> 42));
+  Alcotest.check_raises "phase passes exception" Exit (fun () ->
+      Obs.phase "p" (fun () -> raise Exit));
+  (* Nothing leaked into a registry installed afterwards. *)
+  let reg = with_reg (fun () -> ()) in
+  Alcotest.(check (list string)) "registry untouched" [] (Obs.names reg)
+
+let kind_mismatch () =
+  let reg = Obs.create () in
+  Obs.with_run reg (fun () ->
+      Obs.incr "x";
+      (match Obs.observe "x" 1.0 with
+      | () -> Alcotest.fail "kind mismatch accepted"
+      | exception Invalid_argument _ -> ());
+      match Obs.push "x" 1.0 with
+      | () -> Alcotest.fail "kind mismatch accepted"
+      | exception Invalid_argument _ -> ())
+
+let phase_nesting () =
+  let reg =
+    with_reg (fun () ->
+        Obs.phase "a" (fun () ->
+            Obs.phase "b" (fun () -> ());
+            Obs.phase "b" (fun () -> ()));
+        Obs.phase "c" (fun () -> ()))
+  in
+  Alcotest.(check (list string)) "stacked phase names"
+    [ "phase/a/b_seconds"; "phase/a_seconds"; "phase/c_seconds" ]
+    (Obs.names reg);
+  match Obs.read reg "phase/a/b_seconds" with
+  | Some (Obs.Histogram { count = 2; _ }) -> ()
+  | _ -> Alcotest.fail "nested phase should have 2 observations"
+
+let sorted_deterministic_export () =
+  let build () =
+    with_reg (fun () ->
+        Obs.push "z/series" 0.5;
+        Obs.incr ~by:7 "a/count";
+        Obs.set_gauge "m/gauge" 3.25;
+        Obs.observe "m/hist" 2.0;
+        Obs.push "z/series" 1.5)
+  in
+  let r1 = build () and r2 = build () in
+  Alcotest.(check string) "report deterministic" (Obs.report r1) (Obs.report r2);
+  Alcotest.(check string) "json deterministic" (Obs.to_json r1) (Obs.to_json r2);
+  (* Keys appear in sorted order in the JSON text. *)
+  let j = Obs.to_json r1 in
+  let pos key =
+    let n = String.length key and jn = String.length j in
+    let rec go i =
+      if i + n > jn then Alcotest.failf "key %s missing from JSON" key
+      else if String.sub j i n = key then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let a = pos "\"a/count\"" and m = pos "\"m/gauge\"" and z = pos "\"z/series\"" in
+  Alcotest.(check bool) "json keys sorted" true (a < m && m < z);
+  (* Round-trip through the text report: the same registry contents
+     always render identically, so merge of a copy doubles counters. *)
+  let merged = Obs.create () in
+  Obs.merge ~into:merged r1;
+  Alcotest.(check string) "merge of one registry reproduces it" (Obs.report r1)
+    (Obs.report merged)
+
+let merge_semantics () =
+  let a =
+    with_reg (fun () ->
+        Obs.incr ~by:2 "c";
+        Obs.set_gauge "g" 1.0;
+        Obs.observe "h" 1.0;
+        Obs.push "s" 1.0)
+  in
+  let b =
+    with_reg (fun () ->
+        Obs.incr ~by:3 "c";
+        Obs.set_gauge "g" 9.0;
+        Obs.observe "h" 5.0;
+        Obs.push "s" 2.0)
+  in
+  Obs.merge ~into:a b;
+  (match Obs.read a "c" with
+  | Some (Obs.Counter 5) -> ()
+  | _ -> Alcotest.fail "counters add");
+  (match Obs.read a "g" with
+  | Some (Obs.Gauge 9.0) -> ()
+  | _ -> Alcotest.fail "gauge overwritten by src");
+  (match Obs.read a "h" with
+  | Some (Obs.Histogram { count = 2; sum = 6.0; min = 1.0; max = 5.0 }) -> ()
+  | _ -> Alcotest.fail "histograms combine");
+  (match Obs.read a "s" with
+  | Some (Obs.Series [| 1.0; 2.0 |]) -> ()
+  | _ -> Alcotest.fail "series append");
+  (* Kind mismatch across registries is a bug, not data. *)
+  let c = with_reg (fun () -> Obs.set_gauge "c" 1.0) in
+  match Obs.merge ~into:a c with
+  | () -> Alcotest.fail "merge kind mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- jobs invariance of pool-merged metrics --- *)
+
+let pool_jobs_invariance () =
+  let run jobs =
+    let reg = Obs.create () in
+    Obs.with_run reg (fun () ->
+        Vod_util.Pool.with_pool ~jobs (fun pool ->
+            Vod_util.Pool.iteri pool ~n:64 ~f:(fun i ->
+                Obs.incr "t/tasks_seen";
+                Obs.observe "t/hist" (float_of_int (i mod 7));
+                Obs.push "t/series" (float_of_int i);
+                Obs.phase "t/work" (fun () -> ()))));
+    reg
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check string) "j1 = j4 modulo time keys" (invariant_report r1)
+    (invariant_report r4);
+  (* The series must be in task order — not completion order. *)
+  match Obs.read r4 "t/series" with
+  | Some (Obs.Series a) ->
+      Alcotest.(check (array (float 0.0)))
+        "series in task order"
+        (Array.init 64 float_of_int)
+        a
+  | _ -> Alcotest.fail "series missing"
+
+(* A miniature EPF problem (two-point blocks sharing one row), enough
+   for the engine to emit its full metric surface. *)
+let mini_oracles k =
+  let module E = Vod_epf.Engine in
+  let module Sp = Vod_epf.Sparse in
+  let pa = { E.obj = 1.0; usage = Sp.of_assoc [ (0, 1.0) ]; data = 0 } in
+  let pb = { E.obj = 4.0; usage = Sp.of_assoc [ (0, 0.2) ]; data = 1 } in
+  let priced ~obj_price ~row_price (p : int E.point) =
+    (obj_price *. p.E.obj) +. Sp.dot row_price p.E.usage
+  in
+  let optimize ~obj_price ~row_price =
+    if priced ~obj_price ~row_price pa <= priced ~obj_price ~row_price pb then pa
+    else pb
+  in
+  Array.make k
+    {
+      E.optimize;
+      optimize_strong = optimize;
+      lower_bound =
+        (fun ~row_price ->
+          Float.min
+            (priced ~obj_price:1.0 ~row_price pa)
+            (priced ~obj_price:1.0 ~row_price pb));
+      initial = (fun () -> pa);
+    }
+
+let engine_metrics_jobs_invariance () =
+  let module E = Vod_epf.Engine in
+  let run jobs =
+    let reg = Obs.create () in
+    let outcome =
+      Obs.with_run reg (fun () ->
+          E.solve ~round:true
+            { E.default_params with E.max_passes = 40; seed = 11; jobs }
+            ~capacities:[| 4.0 |] ~oracles:(mini_oracles 8))
+    in
+    (reg, outcome)
+  in
+  let r1, o1 = run 1 and r4, o4 = run 4 in
+  Alcotest.(check string) "engine metrics j1 = j4 modulo time keys"
+    (invariant_report r1) (invariant_report r4);
+  Alcotest.(check (float 0.0)) "objective unchanged" o1.Vod_epf.Engine.objective
+    o4.Vod_epf.Engine.objective;
+  (* The per-pass series exist and track the engine's own history
+     (main-loop passes plus the stabilization sweeps). *)
+  match Obs.read r1 "epf/pass/lower_bound" with
+  | Some (Obs.Series lbs) ->
+      Alcotest.(check bool) "series covers every pass" true
+        (Array.length lbs >= o1.Vod_epf.Engine.passes);
+      (match Obs.read r1 "epf/passes" with
+      | Some (Obs.Counter n) ->
+          Alcotest.(check int) "pass counter matches series" (Array.length lbs) n
+      | _ -> Alcotest.fail "epf/passes missing");
+      Array.iteri
+        (fun i lb ->
+          let _, hist_lb, _ = o1.Vod_epf.Engine.history.(i) in
+          Alcotest.(check (float 0.0)) "series matches history" hist_lb lb)
+        (Array.sub lbs 0 (Array.length o1.Vod_epf.Engine.history))
+  | _ -> Alcotest.fail "epf/pass/lower_bound missing"
+
+(* --- checkpoint write-then-resume --- *)
+
+let temp_dir () =
+  let d = Filename.temp_file "vod_ckpt" "" in
+  Sys.remove d;
+  d
+
+let checkpoint_write_then_resume () =
+  let dir = temp_dir () in
+  let runs = ref 0 in
+  let exhibit () =
+    incr runs;
+    print_string "exhibit output\n"
+  in
+  Alcotest.(check bool) "not completed yet" false
+    (Checkpoint.completed ~dir ~name:"figX");
+  (match Checkpoint.run ~dir ~name:"figX" exhibit with
+  | Checkpoint.Ran -> ()
+  | Checkpoint.Restored -> Alcotest.fail "first run must execute");
+  Alcotest.(check int) "executed once" 1 !runs;
+  Alcotest.(check bool) "completed" true (Checkpoint.completed ~dir ~name:"figX");
+  let section = Filename.concat dir "figX.section.txt" in
+  let ic = open_in section in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "section captured" "exhibit output" line;
+  Alcotest.(check bool) "metrics json written" true
+    (Sys.file_exists (Filename.concat dir "figX.metrics.json"));
+  (* Resume: the exhibit must not run again. *)
+  (match Checkpoint.run ~dir ~name:"figX" exhibit with
+  | Checkpoint.Restored -> ()
+  | Checkpoint.Ran -> Alcotest.fail "resume must restore, not re-run");
+  Alcotest.(check int) "not re-executed" 1 !runs
+
+let checkpoint_failure_reruns () =
+  let dir = temp_dir () in
+  let attempts = ref 0 in
+  let flaky () =
+    incr attempts;
+    if !attempts = 1 then failwith "killed mid-exhibit"
+  in
+  (match Checkpoint.run ~dir ~name:"figY" flaky with
+  | _ -> Alcotest.fail "failure must propagate"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "no marker after failure" false
+    (Checkpoint.completed ~dir ~name:"figY");
+  (match Checkpoint.run ~dir ~name:"figY" flaky with
+  | Checkpoint.Ran -> ()
+  | Checkpoint.Restored -> Alcotest.fail "failed exhibit must re-run");
+  Alcotest.(check int) "ran twice" 2 !attempts
+
+let suite =
+  [
+    Alcotest.test_case "counter/gauge/hist/series semantics" `Quick
+      counter_gauge_hist_series;
+    Alcotest.test_case "disabled mode is a no-op" `Quick disabled_noop;
+    Alcotest.test_case "kind mismatch raises" `Quick kind_mismatch;
+    Alcotest.test_case "phase timers nest" `Quick phase_nesting;
+    Alcotest.test_case "sorted deterministic export" `Quick
+      sorted_deterministic_export;
+    Alcotest.test_case "merge semantics" `Quick merge_semantics;
+    Alcotest.test_case "pool metrics jobs-invariant" `Quick pool_jobs_invariance;
+    Alcotest.test_case "engine metrics jobs-invariant" `Quick
+      engine_metrics_jobs_invariance;
+    Alcotest.test_case "checkpoint write-then-resume" `Quick
+      checkpoint_write_then_resume;
+    Alcotest.test_case "checkpoint failure re-runs" `Quick
+      checkpoint_failure_reruns;
+  ]

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Single-command tier-1 + lint gate: build, unit/property tests, vodlint.
+# Single-command tier-1 + lint gate: build, unit/property tests, vodlint,
+# docs, and the metrics-registry check.
 # Run from the repo root (or any subdirectory; dune finds the root).
 set -eu
 
@@ -7,6 +8,16 @@ echo "== dune build =="
 dune build
 echo "== dune runtest =="
 dune runtest
+echo "== dune build @doc (odoc comments must parse) =="
+# The libraries are private, so their docs build under @doc-private;
+# @doc is kept alongside for the day a package stanza appears. odoc is
+# not part of the minimal toolchain image — CI installs it and runs
+# this for real; locally the step degrades to a skip note.
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc @doc-private
+else
+  echo "   (odoc not installed; skipping — CI runs this step)"
+fi
 echo "== dune build @lint (project mode: effect analysis + baseline) =="
 dune build @lint
 echo "== vodlint --project (explicit, against the checked-in baseline) =="
@@ -20,10 +31,45 @@ trap 'rm -rf "$smoke_dir"' EXIT
 for j in 1 4; do
   dune exec --no-print-directory bin/vodopt.exe -- solve \
     --videos 120 --days 7 --requests-per-video 6 --passes 12 --jobs "$j" \
+    --metrics "$smoke_dir/metrics$j.json" \
     | grep -v '^time' > "$smoke_dir/jobs$j.out"
 done
 if ! diff -u "$smoke_dir/jobs1.out" "$smoke_dir/jobs4.out"; then
   echo "FAIL: solver output differs between --jobs 1 and --jobs 4" >&2
   exit 1
 fi
+# The metrics exports must agree too, modulo the documented exclusions
+# (timing keys and scheduler telemetry).
+for j in 1 4; do
+  grep -vE '_seconds|"pool/sched/' "$smoke_dir/metrics$j.json" \
+    > "$smoke_dir/metrics$j.inv"
+done
+if ! diff -u "$smoke_dir/metrics1.inv" "$smoke_dir/metrics4.inv"; then
+  echo "FAIL: non-time metrics differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+echo "== bench metrics vs METRICS.md registry =="
+# Run one quick-scale bench exhibit with --metrics and check every
+# emitted key is documented. Normalize instance-specific name parts to
+# the registry's placeholders before the lookup, so a new undocumented
+# (or misspelled) metric name fails the gate.
+VOD_SCALE=quick dune exec --no-print-directory bench/main.exe -- table3 \
+  --metrics "$smoke_dir/bench_metrics.json" > /dev/null
+sed -n '/<!-- registry:begin/,/registry:end -->/p' METRICS.md \
+  | grep -oE '^\| `[^`]+`' | sed 's/^| `//; s/`$//' > "$smoke_dir/registry.txt"
+keys=$(grep -oE '^  "[^"]+"' "$smoke_dir/bench_metrics.json" | tr -d ' "')
+[ -n "$keys" ] || { echo "FAIL: bench --metrics emitted no keys" >&2; exit 1; }
+status=0
+for key in $keys; do
+  norm=$(printf '%s\n' "$key" | sed -E '
+    s#^phase/bench/([a-z0-9]+)/#phase/#;
+    s#^phase/bench/[a-z0-9]+_seconds$#phase/bench/<exhibit>_seconds#;
+    s#^pool/sched/domain[0-9]+_busy_seconds$#pool/sched/domain<slot>_busy_seconds#;
+    s#^cache/(lru|lfu|lrfu)/#cache/<policy>/#')
+  if ! grep -qxF "$norm" "$smoke_dir/registry.txt"; then
+    echo "FAIL: metric '$key' (registry form '$norm') is not in METRICS.md" >&2
+    status=1
+  fi
+done
+[ "$status" -eq 0 ] || exit 1
 echo "== all checks passed =="
