@@ -30,6 +30,7 @@ let available =
     ("table5", "peak window size");
     ("table6", "update frequency / estimation accuracy");
     ("ablation", "solver design-choice ablations (pass order, warm start)");
+    ("failure", "fault injection: placement vs caching fleets under outages");
     ("micro", "bechamel kernel micro-benchmarks");
   ]
 
@@ -38,6 +39,11 @@ let available =
    pool default (0 keeps the number-of-cores default). *)
 let metrics_path = ref None
 let checkpoint_dir = ref None
+
+(* Overrides for the 'failure' exhibit: replay a custom CSV fault
+   schedule and/or force the playout link budget. *)
+let faults_file = ref None
+let link_capacity = ref None
 
 let parse_flags args =
   let starts_with prefix a =
@@ -68,6 +74,18 @@ let parse_flags args =
     | a :: rest when starts_with "--checkpoint=" a ->
         checkpoint_dir := Some (tail "--checkpoint=" a);
         go acc rest
+    | "--faults" :: p :: rest ->
+        faults_file := Some p;
+        go acc rest
+    | a :: rest when starts_with "--faults=" a ->
+        faults_file := Some (tail "--faults=" a);
+        go acc rest
+    | "--link-capacity" :: c :: rest ->
+        link_capacity := Some (float_of_string c);
+        go acc rest
+    | a :: rest when starts_with "--link-capacity=" a ->
+        link_capacity := Some (float_of_string (tail "--link-capacity=" a));
+        go acc rest
     | a :: rest -> go (a :: acc) rest
   in
   go [] args
@@ -86,13 +104,17 @@ let () =
   in
   if List.mem "--help" args || List.mem "-h" args then begin
     print_endline
-      "usage: main.exe [--jobs N] [--metrics PATH] [--checkpoint DIR] [experiment ...]   (default: all)";
+      "usage: main.exe [--jobs N] [--metrics PATH] [--checkpoint DIR] [--faults CSV] [--link-capacity MBPS] [experiment ...]   (default: all)";
     print_endline
       "  --jobs N          worker domains for parallel phases (0 = number of cores)";
     print_endline
       "  --metrics PATH    write the run's metrics registry as sorted JSON ('-' = stdout)";
     print_endline
       "  --checkpoint DIR  checkpoint each exhibit into DIR and skip completed ones on resume";
+    print_endline
+      "  --faults CSV      'failure' exhibit: replay this fault schedule instead of the canned ones";
+    print_endline
+      "  --link-capacity M 'failure' exhibit: playout link budget in Mb/s (default: calibrated)";
     List.iter (fun (n, d) -> Printf.printf "  %-8s %s\n" n d) available;
     exit 0
   end;
@@ -139,6 +161,8 @@ let () =
     run_if "table5" (fun () -> Exp_window.run ());
     run_if "table6" (fun () -> Exp_update.run (Lazy.force scenario));
     run_if "ablation" (fun () -> Exp_ablation.run ());
+    run_if "failure" (fun () ->
+        Exp_failure.run ?faults_file:!faults_file ?link_capacity:!link_capacity ());
     run_if "micro" (fun () -> Micro.run ());
     !ran
   in

@@ -226,15 +226,79 @@ let scheme_t =
     & opt (enum (List.map (fun s -> (s, s)) schemes)) "mip"
     & info [ "scheme" ] ~docv:"S" ~doc:"Scheme: mip, lru, lfu, topk, origin.")
 
+let faults_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Play out under a fault schedule: a CSV file (time_s,event,args — see DESIGN.md) or a canned scenario $(b,single-vho)[:VHO], $(b,correlated)[:VHO], $(b,flash-crowd)[:VHO] (default target: the largest metro).")
+
+let playout_link_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "link-capacity" ] ~docv:"MBPS"
+        ~doc:
+          "Per-directed-link bandwidth budget enforced at playout time (streams are admitted against residual capacity; default unlimited). Implies the failover-serving playout mode.")
+
+let origin_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "origin" ] ~docv:"VHO"
+        ~doc:"Last-resort origin server for failover routing (holds the full library).")
+
+(* --faults SPEC: canned scenario name (optionally ":VHO") or a CSV path. *)
+let schedule_of_spec sc spec =
+  let name, target =
+    match String.index_opt spec ':' with
+    | Some i ->
+        let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+        let vho =
+          match int_of_string_opt v with
+          | Some vho -> vho
+          | None -> failwith (Printf.sprintf "bad VHO %S in --faults %s" v spec)
+        in
+        (String.sub spec 0 i, Some vho)
+    | None -> (spec, None)
+  in
+  match name with
+  | "single-vho" -> Vod_core.Scenario.single_vho_outage ?vho:target sc
+  | "correlated" -> Vod_core.Scenario.correlated_outage ?vho:target sc
+  | "flash-crowd" -> Vod_core.Scenario.flash_crowd ?vho:target sc
+  | _ ->
+      Vod_resil.Event.load_csv
+        ~n_vhos:(Vod_topology.Graph.n_nodes sc.Vod_core.Scenario.graph)
+        ~n_links:(Vod_topology.Graph.n_links sc.Vod_core.Scenario.graph)
+        spec
+
 let simulate topology topology_file trace_file videos days rpv seed disk link passes
-    scheme verbose jobs metrics =
+    scheme faults playout_link origin verbose jobs metrics =
   setup_logs verbose jobs;
   with_metrics metrics @@ fun () ->
   let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
+  let resil =
+    match (faults, playout_link, origin) with
+    | None, None, None -> None
+    | _ ->
+        let schedule =
+          match faults with
+          | None -> Vod_resil.Event.empty
+          | Some spec -> schedule_of_spec sc spec
+        in
+        Some
+          (Vod_resil.Playout.config ~schedule
+             ?link_capacity_mbps:playout_link ?origin ())
+  in
   let cfg =
-    Vod_core.Pipeline.default_config ~scenario:sc
-      ~disk_gb:(Vod_core.Scenario.uniform_disk sc ~multiple:disk)
-      ~link_capacity_mbps:link
+    {
+      (Vod_core.Pipeline.default_config ~scenario:sc
+         ~disk_gb:(Vod_core.Scenario.uniform_disk sc ~multiple:disk)
+         ~link_capacity_mbps:link)
+      with
+      Vod_core.Pipeline.resil;
+    }
   in
   let mip =
     {
@@ -260,6 +324,29 @@ let simulate topology topology_file trace_file videos days rpv seed disk link pa
   Printf.printf "peak aggregate   %.0f Mb/s\n" (Vod_sim.Metrics.max_aggregate_mbps m);
   Printf.printf "total transfer   %.0f GB x hop\n" m.Vod_sim.Metrics.total_gb_hops;
   Printf.printf "not cachable     %d\n" m.Vod_sim.Metrics.not_cachable;
+  if resil <> None then begin
+    let deg = m.Vod_sim.Metrics.deg in
+    Printf.printf "rejections       %d (%.2f%% of requests)\n"
+      deg.Vod_sim.Metrics.rejections
+      (100.0 *. Vod_sim.Metrics.rejection_rate m);
+    Printf.printf "  vho down       %d\n" deg.Vod_sim.Metrics.rejected_vho_down;
+    Printf.printf "  no replica     %d\n" deg.Vod_sim.Metrics.rejected_no_replica;
+    Printf.printf "  unreachable    %d\n" deg.Vod_sim.Metrics.rejected_unreachable;
+    Printf.printf "  no capacity    %d\n" deg.Vod_sim.Metrics.rejected_no_capacity;
+    Printf.printf "failovers        %d (+%d extra hops)\n"
+      deg.Vod_sim.Metrics.failovers deg.Vod_sim.Metrics.failover_extra_hops;
+    Printf.printf "origin served    %d\n" deg.Vod_sim.Metrics.origin_served;
+    Printf.printf "link saturation  %.0f s\n" deg.Vod_sim.Metrics.link_saturated_s;
+    Printf.printf "event windows    (day range: requests / rejections / failovers)\n";
+    List.iter
+      (fun (w : Vod_resil.Playout.window) ->
+        Printf.printf "  %6.2f-%6.2f  %-24s %8d / %6d / %6d\n"
+          (w.Vod_resil.Playout.t0_s /. 86_400.0)
+          (w.Vod_resil.Playout.t1_s /. 86_400.0)
+          w.Vod_resil.Playout.trigger w.Vod_resil.Playout.requests
+          w.Vod_resil.Playout.rejections w.Vod_resil.Playout.failovers)
+      r.Vod_core.Pipeline.resil_windows
+  end;
   List.iter
     (fun (transfers, gb) ->
       Printf.printf "placement update: %d videos moved (%.0f GB)\n" transfers gb)
@@ -309,8 +396,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Replay the trace against a distribution scheme")
     Term.(
       const simulate $ topology_t $ topology_file_t $ trace_file_t $ videos_t
-      $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ scheme_t $ verbose_t
-      $ jobs_t $ metrics_t)
+      $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ scheme_t $ faults_t
+      $ playout_link_t $ origin_t $ verbose_t $ jobs_t $ metrics_t)
 
 let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Feasibility sweep: min disk per link capacity")

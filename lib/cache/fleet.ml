@@ -77,31 +77,50 @@ let choose_server t ~video ~vho =
       | Some s -> s
       | None -> invalid_arg "Fleet.serve: video has no replica anywhere")
 
-let serve t ~video ~vho ~now =
+let holders t ~video = Replica_index.holders t.index ~video
+
+(* [serve_routed] is [serve] with the remote-server decision delegated to
+   [route], which receives the scheme's fault-free choice as [default]
+   and may pick another replica (failover) or return [None] to reject the
+   request. Local serving (pinned store, cache hit) is never rerouted.
+   On [None] the caches are left untouched — a rejected request streams
+   nothing — and the function returns [None]. *)
+let serve_routed t ~video ~vho ~now ~route =
   let v = Vod_workload.Catalog.video t.catalog video in
   let size_gb = Vod_workload.Video.size_gb v in
   let busy_until = now +. Vod_workload.Video.duration_s v in
   if pinned_at t ~video ~vho then
-    { server = vho; local = true; cache_hit = false; inserted = false; not_cachable = false }
+    Some
+      { server = vho; local = true; cache_hit = false; inserted = false; not_cachable = false }
   else if Cache.touch t.caches.(vho) video ~busy_until then
-    { server = vho; local = true; cache_hit = true; inserted = false; not_cachable = false }
+    Some
+      { server = vho; local = true; cache_hit = true; inserted = false; not_cachable = false }
   else begin
-    let server = choose_server t ~video ~vho in
-    (* Streaming from a remote cached copy pins it for the duration. *)
-    if server <> vho then ignore (Cache.touch t.caches.(server) video ~busy_until);
-    let inserted, evicted =
-      Cache.insert t.caches.(vho) video ~size_gb ~now ~busy_until
-    in
-    List.iter (fun ev -> Replica_index.remove t.index ~video:ev ~vho) evicted;
-    if inserted then Replica_index.add t.index ~video ~vho;
-    {
-      server;
-      local = false;
-      cache_hit = false;
-      inserted;
-      not_cachable = not inserted;
-    }
+    let default = choose_server t ~video ~vho in
+    match route ~default with
+    | None -> None
+    | Some server ->
+        (* Streaming from a remote cached copy pins it for the duration. *)
+        if server <> vho then ignore (Cache.touch t.caches.(server) video ~busy_until);
+        let inserted, evicted =
+          Cache.insert t.caches.(vho) video ~size_gb ~now ~busy_until
+        in
+        List.iter (fun ev -> Replica_index.remove t.index ~video:ev ~vho) evicted;
+        if inserted then Replica_index.add t.index ~video ~vho;
+        Some
+          {
+            server;
+            local = false;
+            cache_hit = false;
+            inserted;
+            not_cachable = not inserted;
+          }
   end
+
+let serve t ~video ~vho ~now =
+  match serve_routed t ~video ~vho ~now ~route:(fun ~default -> Some default) with
+  | Some outcome -> outcome
+  | None -> invalid_arg "Fleet.serve: identity route returned None"
 
 (* ---------- constructors ---------- *)
 

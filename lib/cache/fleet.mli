@@ -32,10 +32,28 @@ val pin : t -> video:int -> vho:int -> unit
 (** Pinned disk usage per VHO (GB). *)
 val pinned_gb : t -> float array
 
+(** Current holders of [video] (pinned or cached), unsorted. Exposed for
+    the failover router in lib/resil. *)
+val holders : t -> video:int -> int list
+
 (** Serve one request at [now]; updates caches, locks streaming entries,
     maintains the replica index. Raises [Invalid_argument] if a video has
     no replica anywhere under oracle routing. *)
 val serve : t -> video:int -> vho:int -> now:float -> outcome
+
+(** [serve] with the remote-server decision delegated to [route]: it is
+    called only when the request cannot be served locally, receives the
+    scheme's fault-free choice as [default], and may return a different
+    server (failover) or [None] to reject the request. A rejection leaves
+    every cache untouched and yields [None]. [serve] is
+    [serve_routed ~route:(fun ~default -> Some default)]. *)
+val serve_routed :
+  t ->
+  video:int ->
+  vho:int ->
+  now:float ->
+  route:(default:int -> int option) ->
+  outcome option
 
 (** MIP placement + complementary per-VHO cache (GB each). *)
 val mip :

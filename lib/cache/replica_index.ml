@@ -21,13 +21,15 @@ let holders t ~video = t.holders.(video)
 let holds t ~video ~vho = List.mem vho t.holders.(video)
 
 (* Nearest holder by hop count under the fixed routing; [None] when the
-   video has no copy anywhere. *)
+   video has no copy anywhere. Ties on hop count break to the lowest VHO
+   id, so the result is independent of the (insertion-ordered) holder
+   list — the failover router in lib/resil inherits this ordering. *)
 let nearest t (paths : Vod_topology.Paths.t) ~video ~vho =
   List.fold_left
     (fun best i ->
       let h = Vod_topology.Paths.hops paths ~src:i ~dst:vho in
       match best with
-      | Some (_, bh) when bh <= h -> best
+      | Some (bi, bh) when bh < h || (bh = h && bi < i) -> best
       | Some _ | None -> Some (i, h))
     None t.holders.(video)
   |> Option.map fst

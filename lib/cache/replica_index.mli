@@ -16,5 +16,7 @@ val holders : t -> video:int -> int list
 
 val holds : t -> video:int -> vho:int -> bool
 
-(** Nearest holder by hop count; [None] if the video has no copy. *)
+(** Nearest holder by hop count; [None] if the video has no copy.
+    Ties on hop count break deterministically to the lowest VHO id,
+    independent of holder insertion order. *)
 val nearest : t -> Vod_topology.Paths.t -> video:int -> vho:int -> int option

@@ -34,6 +34,8 @@ type config = {
   window_s : float;
   bin_s : float;
   seed : int;
+  resil : Vod_resil.Playout.config option;
+      (* Some _ switches playout to the fault-injecting engine *)
 }
 
 let default_config ~scenario ~disk_gb ~link_capacity_mbps =
@@ -46,6 +48,7 @@ let default_config ~scenario ~disk_gb ~link_capacity_mbps =
     window_s = 3600.0;
     bin_s = 300.0;
     seed = 7;
+    resil = None;
   }
 
 type result = {
@@ -53,6 +56,7 @@ type result = {
   metrics : Vod_sim.Metrics.t;
   solves : Vod_placement.Solve.report list;   (* newest first *)
   migrations : (int * float) list;            (* per update: transfers, GB *)
+  resil_windows : Vod_resil.Playout.window list;  (* [] without faults *)
 }
 
 let scheme_name cfg = function
@@ -78,6 +82,30 @@ let fresh_metrics cfg =
     ~horizon_s ~bin_s:cfg.bin_s
     ~record_from:(float_of_int cfg.warmup_days *. Vod_workload.Trace.seconds_per_day)
     ()
+
+(* Playout engine selection: the legacy engine, or the resilience engine
+   when the config carries a fault/capacity setup. Returns the per-batch
+   play function and a finisher producing the event windows. *)
+let make_player cfg metrics =
+  let sc = cfg.scenario in
+  match cfg.resil with
+  | None ->
+      let play fleet batch =
+        Vod_sim.Sim.play metrics sc.Scenario.paths sc.Scenario.catalog fleet batch
+      in
+      (play, fun () -> [])
+  | Some rcfg ->
+      let p =
+        Vod_resil.Playout.create ~graph:sc.Scenario.graph ~paths:sc.Scenario.paths
+          rcfg
+      in
+      let play fleet batch =
+        Vod_resil.Playout.play p metrics sc.Scenario.catalog fleet batch
+      in
+      ( play,
+        fun () ->
+          Vod_resil.Playout.finish p metrics;
+          Vod_resil.Playout.windows p )
 
 (* Demand ranking from the first week (what a provider would know before
    the measured period), used by Top-K. *)
@@ -133,9 +161,10 @@ let run_mip cfg (m : mip_config) =
       ~catalog:sc.Scenario.catalog ~cache_gb
   in
   let fleet = ref (fleet_of !current) in
+  let play_batch, finish_play = make_player cfg metrics in
   let play ~day_lo ~day_hi =
     let batch = Vod_workload.Trace.between_days trace ~day_lo ~day_hi in
-    Vod_sim.Sim.play metrics sc.Scenario.paths sc.Scenario.catalog !fleet batch
+    play_batch !fleet batch
   in
   let segment_bounds = updates @ [ trace.Vod_workload.Trace.days ] in
   let prev_day = ref 0 in
@@ -158,11 +187,13 @@ let run_mip cfg (m : mip_config) =
       end;
       prev_day := day)
     segment_bounds;
+  let resil_windows = finish_play () in
   {
     scheme_name = scheme_name cfg (Mip m);
     metrics;
     solves = !solves;
     migrations = List.rev !migrations;
+    resil_windows;
   }
 
 let run_cache_scheme cfg scheme =
@@ -184,13 +215,15 @@ let run_cache_scheme cfg scheme =
           ~disk_gb:cfg.disk_gb
     | Mip _ -> invalid_arg "run_cache_scheme: use run_mip"
   in
-  Vod_sim.Sim.play metrics sc.Scenario.paths sc.Scenario.catalog fleet
-    sc.Scenario.trace.Vod_workload.Trace.requests;
+  let play_batch, finish_play = make_player cfg metrics in
+  play_batch fleet sc.Scenario.trace.Vod_workload.Trace.requests;
+  let resil_windows = finish_play () in
   {
     scheme_name = scheme_name cfg scheme;
     metrics;
     solves = [];
     migrations = [];
+    resil_windows;
   }
 
 let run cfg = function

@@ -27,9 +27,12 @@ type config = {
   window_s : float;
   bin_s : float;
   seed : int;
+  resil : Vod_resil.Playout.config option;
+      (** [Some _] plays out through the fault-injecting engine
+          (lib/resil) instead of the legacy one *)
 }
 
-(** 9 warm-up days, |T| = 2 one-hour windows, 5-minute bins. *)
+(** 9 warm-up days, |T| = 2 one-hour windows, 5-minute bins, no faults. *)
 val default_config :
   scenario:Scenario.t ->
   disk_gb:float array ->
@@ -41,6 +44,8 @@ type result = {
   metrics : Vod_sim.Metrics.t;
   solves : Vod_placement.Solve.report list;  (** newest first; MIP only *)
   migrations : (int * float) list;           (** per update: transfers, GB *)
+  resil_windows : Vod_resil.Playout.window list;
+      (** per-event serving windows; [[]] without a resil config *)
 }
 
 (** Run one scheme over the scenario's full trace. *)

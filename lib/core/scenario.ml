@@ -56,6 +56,73 @@ let hetero_disk t ~multiple =
   let wsum = Array.fold_left ( +. ) 0.0 weight in
   Array.map (fun w -> total *. w /. wsum) weight
 
+(* ---------- canned fault scenarios ----------
+
+   Mirrors the TON'16 robustness analysis of the placement paper: a
+   single VHO failure, a correlated site failure (a VHO, its lowest-id
+   neighbor and the links between them), and a flash crowd. The fault
+   window is placed relative to the trace length — start at 40% of the
+   horizon, last 30% — so it lands inside the recorded window of both
+   short smoke runs and full-length traces. *)
+
+let default_fault_vho t = (Vod_topology.Topologies.top_population_nodes t.graph 1).(0)
+
+let fault_window t =
+  let horizon =
+    float_of_int t.trace.Vod_workload.Trace.days *. Vod_workload.Trace.seconds_per_day
+  in
+  (0.4 *. horizon, 0.7 *. horizon)
+
+let single_vho_outage ?vho t =
+  let vho = match vho with Some v -> v | None -> default_fault_vho t in
+  let t0, t1 = fault_window t in
+  Vod_resil.Event.create
+    [
+      { Vod_resil.Event.time_s = t0; kind = Vod_resil.Event.Vho_down vho };
+      { Vod_resil.Event.time_s = t1; kind = Vod_resil.Event.Vho_up vho };
+    ]
+
+(* The target VHO, its lowest-id neighbor and both directed links between
+   them all fail together (a site plus its conduit). *)
+let correlated_outage ?vho t =
+  let vho = match vho with Some v -> v | None -> default_fault_vho t in
+  let neighbor, out_link =
+    Array.fold_left
+      (fun best lid ->
+        let dst = (Vod_topology.Graph.link t.graph lid).Vod_topology.Graph.dst in
+        match best with
+        | Some (nb, _) when nb <= dst -> best
+        | Some _ | None -> Some (dst, lid))
+      None t.graph.Vod_topology.Graph.out_links.(vho)
+    |> function
+    | Some pair -> pair
+    | None -> invalid_arg "Scenario.correlated_outage: target VHO has no links"
+  in
+  let back_link = Vod_topology.Graph.reverse_link t.graph out_link in
+  let t0, t1 = fault_window t in
+  Vod_resil.Event.create
+    [
+      { Vod_resil.Event.time_s = t0; kind = Vod_resil.Event.Vho_down vho };
+      { Vod_resil.Event.time_s = t0; kind = Vod_resil.Event.Vho_down neighbor };
+      { Vod_resil.Event.time_s = t0; kind = Vod_resil.Event.Link_down out_link };
+      { Vod_resil.Event.time_s = t0; kind = Vod_resil.Event.Link_down back_link };
+      { Vod_resil.Event.time_s = t1; kind = Vod_resil.Event.Vho_up vho };
+      { Vod_resil.Event.time_s = t1; kind = Vod_resil.Event.Vho_up neighbor };
+      { Vod_resil.Event.time_s = t1; kind = Vod_resil.Event.Link_up out_link };
+      { Vod_resil.Event.time_s = t1; kind = Vod_resil.Event.Link_up back_link };
+    ]
+
+(* A quarter-day demand spike at the target VHO. *)
+let flash_crowd ?vho ?(factor = 3.0) t =
+  let vho = match vho with Some v -> v | None -> default_fault_vho t in
+  let t0, _ = fault_window t in
+  let t1 = t0 +. (0.25 *. Vod_workload.Trace.seconds_per_day) in
+  Vod_resil.Event.create
+    [
+      { Vod_resil.Event.time_s = t0; kind = Vod_resil.Event.Surge_start { vho; factor } };
+      { Vod_resil.Event.time_s = t1; kind = Vod_resil.Event.Surge_end vho };
+    ]
+
 (* Demand inputs for a one-week placement period starting at [day0], from
    actual trace requests (bootstrap / oracle use). *)
 let demand_of_week t ~day0 ?(n_windows = 2) ?(window_s = 3600.0) () =

@@ -39,6 +39,22 @@ val uniform_disk : t -> multiple:float -> float array
     with 4:2:1 disk weights, aggregate = [multiple] x library size. *)
 val hetero_disk : t -> multiple:float -> float array
 
+(** Target VHO of the canned fault scenarios below: the largest metro. *)
+val default_fault_vho : t -> int
+
+(** One VHO fails at 40% of the trace horizon and recovers at 70%
+    (the TON'16 single-failure analysis). Default target: the largest
+    metro. *)
+val single_vho_outage : ?vho:int -> t -> Vod_resil.Event.schedule
+
+(** Correlated site failure: the target VHO, its lowest-id neighbor and
+    both directed links between them fail together over the same window. *)
+val correlated_outage : ?vho:int -> t -> Vod_resil.Event.schedule
+
+(** A demand surge ([factor], default 3.0) at the target VHO for a
+    quarter day starting at 40% of the horizon. *)
+val flash_crowd : ?vho:int -> ?factor:float -> t -> Vod_resil.Event.schedule
+
 (** Demand inputs for the week starting at [day0], from actual requests
     (|T| = 2 one-hour peak windows by default). *)
 val demand_of_week :

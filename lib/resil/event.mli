@@ -1,0 +1,70 @@
+(** Fault timeline: typed, time-sorted schedules of VHO outages,
+    directed-link failures and flash-crowd demand surges, replayable from
+    CSV and generated deterministically from a seed (the TON'16
+    robustness evaluation of the placement paper). *)
+
+type kind =
+  | Vho_down of int
+  | Vho_up of int
+  | Link_down of int  (** directed link id *)
+  | Link_up of int
+  | Surge_start of { vho : int; factor : float }
+      (** demand multiplier for one VHO; last writer wins *)
+  | Surge_end of int
+
+type t = {
+  time_s : float;  (** absolute seconds from trace start *)
+  kind : kind;
+}
+
+(** A schedule is a time-sorted event array (stable for equal times). *)
+type schedule = t array
+
+(** The fault-free schedule. *)
+val empty : schedule
+
+(** Sort events into a schedule (stable on equal times, preserving the
+    authored order). Raises [Invalid_argument] on non-finite or negative
+    times, or non-positive surge factors. *)
+val create : t list -> schedule
+
+(** Number of events. *)
+val length : schedule -> int
+
+(** Bounds-check every referenced VHO and link id.
+    Raises [Invalid_argument] naming the offending id. *)
+val validate : schedule -> n_vhos:int -> n_links:int -> unit
+
+(** [kind_to_string k] is the CSV tail of an event line, e.g.
+    ["vho_down,12"]. *)
+val kind_to_string : kind -> string
+
+(** Write a schedule as CSV ([time_s,event,args]; one event per line). *)
+val save_csv : schedule -> string -> unit
+
+(** Load a CSV schedule; [#] comments and blank lines are ignored.
+    Raises [Invalid_argument] with a line number on parse errors, and
+    bounds-checks ids when [n_vhos]/[n_links] are given. *)
+val load_csv : ?n_vhos:int -> ?n_links:int -> string -> schedule
+
+(** Parameters of the seeded generator: independent down/up (or
+    start/end) pairs with uniform starts and exponential durations
+    clipped to the horizon. *)
+type gen_params = {
+  n_vhos : int;
+  n_links : int;
+  horizon_s : float;
+  vho_outages : int;
+  link_outages : int;
+  surges : int;
+  mean_outage_s : float;
+  mean_surge_s : float;
+  surge_factor : float;
+  seed : int;
+}
+
+val default_gen_params :
+  n_vhos:int -> n_links:int -> horizon_s:float -> seed:int -> gen_params
+
+(** Generate a schedule from the params; same params, same schedule. *)
+val generate : gen_params -> schedule

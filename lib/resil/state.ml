@@ -1,0 +1,53 @@
+(* Live fault state: which VHOs and directed links are up and each VHO's
+   current demand multiplier, advanced along a schedule by the playout.
+   The cursor makes [advance] O(events applied), so driving it per
+   request costs nothing between events. *)
+
+type t = {
+  vho_up : bool array;
+  link_up : bool array;
+  surge_factor : float array;  (* 1.0 = nominal demand *)
+  schedule : Event.schedule;
+  mutable cursor : int;        (* next event not yet applied *)
+}
+
+let create ~n_vhos ~n_links schedule =
+  Event.validate schedule ~n_vhos ~n_links;
+  {
+    vho_up = Array.make n_vhos true;
+    link_up = Array.make n_links true;
+    surge_factor = Array.make n_vhos 1.0;
+    schedule;
+    cursor = 0;
+  }
+
+let vho_up t vho = t.vho_up.(vho)
+
+let link_up t = t.link_up
+
+let surge t vho = t.surge_factor.(vho)
+
+let apply t (e : Event.t) =
+  match e.Event.kind with
+  | Event.Vho_down v -> t.vho_up.(v) <- false
+  | Event.Vho_up v -> t.vho_up.(v) <- true
+  | Event.Link_down l -> t.link_up.(l) <- false
+  | Event.Link_up l -> t.link_up.(l) <- true
+  | Event.Surge_start { vho; factor } -> t.surge_factor.(vho) <- factor
+  | Event.Surge_end v -> t.surge_factor.(v) <- 1.0
+
+(* Apply every event with time <= now, in schedule order, calling
+   [on_event] after each state change. Returns how many were applied. *)
+let advance t ~now ~on_event =
+  let n = Array.length t.schedule in
+  let applied = ref 0 in
+  while t.cursor < n && t.schedule.(t.cursor).Event.time_s <= now do
+    let e = t.schedule.(t.cursor) in
+    t.cursor <- t.cursor + 1;
+    apply t e;
+    incr applied;
+    on_event e
+  done;
+  !applied
+
+let pending t = Array.length t.schedule - t.cursor

@@ -1,0 +1,25 @@
+(** Live fault state advanced along an {!Event.schedule}: VHO and
+    directed-link liveness plus per-VHO demand multipliers. *)
+
+type t
+
+(** Fresh state (everything up, multipliers 1.0) over a validated
+    schedule. Raises [Invalid_argument] if the schedule references ids
+    outside the topology. *)
+val create : n_vhos:int -> n_links:int -> Event.schedule -> t
+
+(** Whether a VHO is currently up. *)
+val vho_up : t -> int -> bool
+
+(** Current per-directed-link liveness; shared, do not mutate. *)
+val link_up : t -> bool array
+
+(** Current demand multiplier at a VHO (1.0 = nominal). *)
+val surge : t -> int -> float
+
+(** Apply every event with [time_s <= now] in schedule order, calling
+    [on_event] after each is applied; returns the number applied. *)
+val advance : t -> now:float -> on_event:(Event.t -> unit) -> int
+
+(** Events not yet applied. *)
+val pending : t -> int

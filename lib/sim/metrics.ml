@@ -5,6 +5,21 @@
    paper's "maximum link usage measured every 5 min" (Fig. 5) and
    "aggregate transfers averaged over 5-min intervals" (Fig. 6). *)
 
+(* Degradation accounting under faults (lib/resil playout): how much
+   service quality the fleet lost to outages, dead links and saturated
+   capacity. All zero for a fault-free playout. *)
+type degradation = {
+  mutable rejections : int;            (* requests served by nobody *)
+  mutable rejected_vho_down : int;     (* requesting VHO itself was down *)
+  mutable rejected_no_replica : int;   (* no holder anywhere *)
+  mutable rejected_unreachable : int;  (* holders alive but no surviving path *)
+  mutable rejected_no_capacity : int;  (* paths exist but all saturated *)
+  mutable failovers : int;             (* served by a non-default replica *)
+  mutable failover_extra_hops : int;   (* hops beyond the fault-free path *)
+  mutable origin_served : int;         (* last-resort origin fallbacks *)
+  mutable link_saturated_s : float;    (* total saturated link-seconds *)
+}
+
 type t = {
   bin_s : float;
   n_bins : int;
@@ -20,6 +35,7 @@ type t = {
   mutable not_cachable : int;
   mutable total_gb_hops : float;  (* size * hops, the paper's transfer metric *)
   mutable total_gb_remote : float;
+  deg : degradation;
 }
 
 let create ~n_links ?(n_vhos = 0) ~horizon_s ?(bin_s = 300.0) ?(record_from = 0.0) () =
@@ -40,9 +56,36 @@ let create ~n_links ?(n_vhos = 0) ~horizon_s ?(bin_s = 300.0) ?(record_from = 0.
     not_cachable = 0;
     total_gb_hops = 0.0;
     total_gb_remote = 0.0;
+    deg =
+      {
+        rejections = 0;
+        rejected_vho_down = 0;
+        rejected_no_replica = 0;
+        rejected_unreachable = 0;
+        rejected_no_capacity = 0;
+        failovers = 0;
+        failover_extra_hops = 0;
+        origin_served = 0;
+        link_saturated_s = 0.0;
+      };
   }
 
 let in_record_window t time_s = time_s >= t.record_from
+
+(* Check every request's VHO id against the per-VHO counter arrays once,
+   up front, instead of silently dropping out-of-range ids per request.
+   Only meaningful when the metrics track per-VHO counters. *)
+let validate_vhos t requests =
+  let n = Array.length t.per_vho_requests in
+  if n > 0 then
+    Array.iter
+      (fun (r : Vod_workload.Trace.request) ->
+        if r.Vod_workload.Trace.vho < 0 || r.Vod_workload.Trace.vho >= n then
+          invalid_arg
+            (Printf.sprintf
+               "Metrics.validate_vhos: request VHO %d outside [0, %d)"
+               r.Vod_workload.Trace.vho n))
+      requests
 
 (* Spread a stream of [rate_mbps] over [t0, t1) into the link's bins. *)
 let add_stream t ~link ~rate_mbps ~t0 ~t1 =
@@ -88,6 +131,12 @@ let max_aggregate_mbps t = Vod_util.Stats_acc.max_elt (aggregate_series t)
 let local_fraction t =
   if t.requests = 0 then 0.0
   else float_of_int t.local_served /. float_of_int t.requests
+
+(* Fraction of recorded requests that were rejected outright (faulted
+   playouts only; 0 otherwise). *)
+let rejection_rate t =
+  if t.requests = 0 then 0.0
+  else float_of_int t.deg.rejections /. float_of_int t.requests
 
 let hit_rate t = local_fraction t
 

@@ -2,6 +2,21 @@
     plus serving counters — the raw material of the paper's Figs. 5/6/9/10
     and Tables II/V/VI. *)
 
+(** Degradation accounting under faults (lib/resil playout): requests
+    lost to outages, dead links or saturated capacity, plus failover
+    overhead. All fields stay zero for a fault-free playout. *)
+type degradation = {
+  mutable rejections : int;
+  mutable rejected_vho_down : int;
+  mutable rejected_no_replica : int;
+  mutable rejected_unreachable : int;
+  mutable rejected_no_capacity : int;
+  mutable failovers : int;
+  mutable failover_extra_hops : int;
+  mutable origin_served : int;
+  mutable link_saturated_s : float;
+}
+
 type t = {
   bin_s : float;
   n_bins : int;
@@ -17,6 +32,7 @@ type t = {
   mutable not_cachable : int;
   mutable total_gb_hops : float;
   mutable total_gb_remote : float;
+  deg : degradation;
 }
 
 (** [create ~n_links ~horizon_s ()] with 5-minute bins by default; activity
@@ -33,6 +49,11 @@ val create :
 
 (** Whether a time falls inside the recording window. *)
 val in_record_window : t -> float -> bool
+
+(** Validate every request's VHO id against the per-VHO counter arrays
+    once, up front. Raises [Invalid_argument] naming the offending id; a
+    no-op when the metrics were created without [n_vhos]. *)
+val validate_vhos : t -> Vod_workload.Trace.request array -> unit
 
 (** Spread a stream of [rate_mbps] over [t0, t1) into a link's bins
     (overlap-weighted). *)
@@ -55,6 +76,10 @@ val local_fraction : t -> float
 
 (** Alias of [local_fraction] (the paper's cache hit rate). *)
 val hit_rate : t -> float
+
+(** Fraction of recorded requests rejected outright; 0 for fault-free
+    playouts. *)
+val rejection_rate : t -> float
 
 (** Per-VHO local-serving fraction; empty unless created with [n_vhos]. *)
 val per_vho_local_fraction : t -> float array

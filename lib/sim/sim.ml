@@ -7,9 +7,13 @@ let src = Logs.Src.create "vod.sim" ~doc:"trace playout"
 module Log = (val Logs.src_log src : Logs.LOG)
 
 (* Play a batch of requests (must be time-sorted) through [fleet],
-   accumulating into [metrics]. *)
+   accumulating into [metrics]. VHO ids are validated against the
+   per-VHO counter arrays once at entry ([Metrics.validate_vhos]) so a
+   malformed trace raises instead of silently dropping counters. *)
 let play metrics (paths : Vod_topology.Paths.t)
     (catalog : Vod_workload.Catalog.t) fleet (requests : Vod_workload.Trace.request array) =
+  Metrics.validate_vhos metrics requests;
+  let track_per_vho = Array.length metrics.Metrics.per_vho_requests > 0 in
   Array.iter
     (fun (r : Vod_workload.Trace.request) ->
       let now = r.Vod_workload.Trace.time_s in
@@ -19,12 +23,12 @@ let play metrics (paths : Vod_topology.Paths.t)
       let record = Metrics.in_record_window metrics now in
       if record then begin
         metrics.Metrics.requests <- metrics.Metrics.requests + 1;
-        if vho < Array.length metrics.Metrics.per_vho_requests then
+        if track_per_vho then
           metrics.Metrics.per_vho_requests.(vho) <-
             metrics.Metrics.per_vho_requests.(vho) + 1;
         if outcome.Vod_cache.Fleet.local then begin
           metrics.Metrics.local_served <- metrics.Metrics.local_served + 1;
-          if vho < Array.length metrics.Metrics.per_vho_local then
+          if track_per_vho then
             metrics.Metrics.per_vho_local.(vho) <-
               metrics.Metrics.per_vho_local.(vho) + 1;
           if outcome.Vod_cache.Fleet.cache_hit then

@@ -2,15 +2,22 @@
    every pair of VHOs (shortest-path routing, Sec. III); for the MIP only
    the *set* of links on the path matters. We precompute, for every source
    i, a BFS tree with deterministic tie-breaking (lowest next-hop id) and
-   store P_ij as an array of directed link ids. P_ii = [||]. *)
+   store P_ij as an array of directed link ids. P_ii = [||].
+
+   [compute_masked] is the same computation restricted to the surviving
+   links of a fault scenario (lib/resil): unreachable pairs get
+   hop = max_int and an empty link array instead of raising. *)
 
 type t = {
-  hop : int array array;          (* hop.(i).(j) = |P_ij| *)
+  hop : int array array;          (* hop.(i).(j) = |P_ij|; max_int = unreachable *)
   links : int array array array;  (* links.(i).(j) = directed link ids on path i -> j *)
 }
 
-let compute (g : Graph.t) =
+let compute_gen ?link_up ~strict (g : Graph.t) =
   let n = g.Graph.n in
+  let alive =
+    match link_up with None -> fun _ -> true | Some up -> fun lid -> up.(lid)
+  in
   let hop = Array.make_matrix n n 0 in
   let links = Array.init n (fun _ -> Array.make n [||]) in
   for src = 0 to n - 1 do
@@ -26,31 +33,47 @@ let compute (g : Graph.t) =
       let v = Queue.pop queue in
       Array.iter
         (fun lid ->
-          let w = (Graph.link g lid).Graph.dst in
-          if dist.(w) = max_int then begin
-            dist.(w) <- dist.(v) + 1;
-            parent_link.(w) <- lid;
-            Queue.push w queue
+          if alive lid then begin
+            let w = (Graph.link g lid).Graph.dst in
+            if dist.(w) = max_int then begin
+              dist.(w) <- dist.(v) + 1;
+              parent_link.(w) <- lid;
+              Queue.push w queue
+            end
           end)
         g.Graph.out_links.(v)
     done;
     for dst = 0 to n - 1 do
       if dst <> src then begin
-        if dist.(dst) = max_int then
-          invalid_arg "Paths.compute: graph is not connected";
-        hop.(src).(dst) <- dist.(dst);
-        (* Walk back from dst to src collecting link ids. *)
-        let rec collect v acc =
-          if v = src then acc
-          else
-            let lid = parent_link.(v) in
-            collect (Graph.link g lid).Graph.src (lid :: acc)
-        in
-        links.(src).(dst) <- Array.of_list (collect dst [])
+        if dist.(dst) = max_int then begin
+          if strict then invalid_arg "Paths.compute: graph is not connected";
+          hop.(src).(dst) <- max_int
+          (* links.(src).(dst) stays [||] *)
+        end
+        else begin
+          hop.(src).(dst) <- dist.(dst);
+          (* Walk back from dst to src collecting link ids. *)
+          let rec collect v acc =
+            if v = src then acc
+            else
+              let lid = parent_link.(v) in
+              collect (Graph.link g lid).Graph.src (lid :: acc)
+          in
+          links.(src).(dst) <- Array.of_list (collect dst [])
+        end
       end
     done
   done;
   { hop; links }
+
+let compute g = compute_gen ~strict:true g
+
+let compute_masked g ~link_up =
+  if Array.length link_up <> Graph.n_links g then
+    invalid_arg "Paths.compute_masked: link_up size mismatch";
+  compute_gen ~link_up ~strict:false g
+
+let reachable t ~src ~dst = t.hop.(src).(dst) <> max_int
 
 let hops t ~src ~dst = t.hop.(src).(dst)
 

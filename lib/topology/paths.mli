@@ -8,7 +8,19 @@ type t
     tie-breaking. Raises [Invalid_argument] if the graph is disconnected. *)
 val compute : Graph.t -> t
 
-(** Hop count |P_ij|; 0 when [src = dst]. *)
+(** Same computation restricted to the links for which
+    [link_up.(lid) = true] (fault scenarios, lib/resil). Pairs with no
+    surviving path get hop count [max_int] and an empty link array
+    instead of raising. Raises [Invalid_argument] if [link_up] does not
+    have one entry per directed link. *)
+val compute_masked : Graph.t -> link_up:bool array -> t
+
+(** [reachable t ~src ~dst] is false only for pairs severed in a
+    [compute_masked] result; always true on a [compute] result. *)
+val reachable : t -> src:int -> dst:int -> bool
+
+(** Hop count |P_ij|; 0 when [src = dst]; [max_int] when unreachable
+    under a mask. *)
 val hops : t -> src:int -> dst:int -> int
 
 (** Directed link ids on the fixed path from [src] to [dst], in order;

@@ -113,6 +113,31 @@ let nearest_replica () =
   Alcotest.(check (option int)) "nearest is 1" (Some 1)
     (RI.nearest idx paths ~video:0 ~vho:0)
 
+(* Equidistant holders resolve to the lowest VHO id, whatever order the
+   replicas were registered in (failover routing relies on this being
+   deterministic). *)
+let nearest_tie_break () =
+  let g =
+    Vod_topology.Graph.create ~name:"line" ~n:4
+      ~edges:[ (0, 1); (1, 2); (2, 3) ]
+      ~populations:[| 1.0; 1.0; 1.0; 1.0 |]
+  in
+  let paths = Vod_topology.Paths.compute g in
+  (* VHOs 0 and 2 are both one hop from VHO 1. *)
+  List.iter
+    (fun order ->
+      let idx = RI.create ~n_videos:1 in
+      List.iter (fun vho -> RI.add idx ~video:0 ~vho) order;
+      Alcotest.(check (option int)) "lowest id wins the tie" (Some 0)
+        (RI.nearest idx paths ~video:0 ~vho:1))
+    [ [ 0; 2 ]; [ 2; 0 ] ];
+  (* A strictly closer holder still beats a lower id. *)
+  let idx = RI.create ~n_videos:1 in
+  RI.add idx ~video:0 ~vho:0;
+  RI.add idx ~video:0 ~vho:3;
+  Alcotest.(check (option int)) "hops beat id" (Some 3)
+    (RI.nearest idx paths ~video:0 ~vho:2)
+
 (* A tiny fleet world shared by the fleet tests. *)
 let fleet_world () =
   let g =
@@ -268,6 +293,7 @@ let suite =
     Alcotest.test_case "cache accounting" `Quick cache_accounting;
     Alcotest.test_case "replica index" `Quick replica_index_ops;
     Alcotest.test_case "nearest replica" `Quick nearest_replica;
+    Alcotest.test_case "nearest tie-break" `Quick nearest_tie_break;
     Alcotest.test_case "fleet random basics" `Quick fleet_random_basics;
     Alcotest.test_case "fleet cache insertion" `Quick fleet_cache_insertion;
     Alcotest.test_case "fleet topk" `Quick fleet_topk;

@@ -12,6 +12,7 @@ let () =
       ("cache", Test_cache.suite);
       ("cache2", Test_cache2.suite);
       ("sim", Test_sim.suite);
+      ("resil", Test_resil.suite);
       ("core", Test_core.suite);
       ("properties", Test_props.suite);
       ("edge", Test_edge.suite);

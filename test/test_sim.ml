@@ -34,6 +34,34 @@ let series_and_peaks () =
   Alcotest.(check (array (float 1e-9))) "aggregate series" [| 4.0; 6.0 |] (M.aggregate_series m);
   Alcotest.(check (float 1e-9)) "max link" 6.0 (M.max_link_mbps m)
 
+let stream_boundaries () =
+  let m = M.create ~n_links:1 ~horizon_s:900.0 ~bin_s:300.0 () in
+  (* Zero-duration streams contribute nothing. *)
+  M.add_stream m ~link:0 ~rate_mbps:5.0 ~t0:450.0 ~t1:450.0;
+  Alcotest.(check (float 1e-9)) "zero duration" 0.0 m.M.link_load.(0).(1);
+  (* A stream ending exactly on a bin edge never touches the next bin. *)
+  M.add_stream m ~link:0 ~rate_mbps:2.0 ~t0:300.0 ~t1:600.0;
+  Alcotest.(check (float 1e-9)) "edge-aligned bin full" 2.0 m.M.link_load.(0).(1);
+  Alcotest.(check (float 1e-9)) "next bin untouched" 0.0 m.M.link_load.(0).(2)
+
+let stream_straddles_record_from () =
+  (* record_from cuts a stream mid-bin: only the recorded half counts. *)
+  let m =
+    M.create ~n_links:1 ~horizon_s:900.0 ~bin_s:300.0 ~record_from:450.0 ()
+  in
+  M.add_stream m ~link:0 ~rate_mbps:2.0 ~t0:300.0 ~t1:600.0;
+  Alcotest.(check (float 1e-9)) "warmup bin empty" 0.0 m.M.link_load.(0).(0);
+  Alcotest.(check (float 1e-9)) "recorded half of bin" 1.0 m.M.link_load.(0).(1)
+
+let stream_straddles_horizon () =
+  (* 750 s horizon rounds up to 3 bins; the clamp is to the padded bin
+     grid, so the last bin fills completely and the weighting divides by
+     the full bin width. *)
+  let m = M.create ~n_links:1 ~horizon_s:750.0 ~bin_s:300.0 () in
+  M.add_stream m ~link:0 ~rate_mbps:3.0 ~t0:550.0 ~t1:2000.0;
+  Alcotest.(check (float 1e-9)) "partial mid bin" 0.5 m.M.link_load.(0).(1);
+  Alcotest.(check (float 1e-9)) "last bin full" 3.0 m.M.link_load.(0).(2)
+
 let sim_world () =
   let g =
     Vod_topology.Graph.create ~name:"ring4" ~n:4
@@ -123,11 +151,41 @@ let warmup_reduces_counted_requests () =
   Alcotest.(check bool) "fewer counted" true (recorded.M.requests < all.M.requests);
   Alcotest.(check bool) "nonzero counted" true (recorded.M.requests > 0)
 
+(* Regression: an out-of-range VHO id used to silently skip the per-VHO
+   counters (guarded array writes); now the batch is validated once at
+   playout entry. *)
+let out_of_range_vho_rejected () =
+  let g, paths, catalog, _ = sim_world () in
+  let fleet =
+    Vod_cache.Fleet.random_single ~paths ~catalog
+      ~disk_gb:[| 15.0; 15.0; 15.0; 15.0 |] ~policy:Vod_cache.Cache.Lru ~seed:5
+  in
+  let bad =
+    [| { Vod_workload.Trace.time_s = 10.0; vho = 7; video = 0 } |]
+  in
+  let m =
+    M.create ~n_links:(Vod_topology.Graph.n_links g) ~n_vhos:4
+      ~horizon_s:86_400.0 ()
+  in
+  Alcotest.check_raises "validated at entry"
+    (Invalid_argument "Metrics.validate_vhos: request VHO 7 outside [0, 4)")
+    (fun () -> Vod_sim.Sim.play m paths catalog fleet bad);
+  Alcotest.(check int) "nothing counted" 0 m.M.requests;
+  (* A well-formed batch against the same metrics still plays. *)
+  let ok = [| { Vod_workload.Trace.time_s = 10.0; vho = 3; video = 0 } |] in
+  Vod_sim.Sim.play m paths catalog fleet ok;
+  Alcotest.(check int) "valid batch plays" 1 m.M.requests;
+  Alcotest.(check int) "attributed to vho 3" 1 m.M.per_vho_requests.(3)
+
 let suite =
   [
     Alcotest.test_case "stream binning" `Quick stream_binning;
     Alcotest.test_case "horizon clamp" `Quick stream_clamped_to_horizon;
     Alcotest.test_case "record_from" `Quick record_from_excludes_warmup;
+    Alcotest.test_case "stream boundaries" `Quick stream_boundaries;
+    Alcotest.test_case "record_from straddle" `Quick stream_straddles_record_from;
+    Alcotest.test_case "horizon straddle" `Quick stream_straddles_horizon;
+    Alcotest.test_case "out-of-range vho rejected" `Quick out_of_range_vho_rejected;
     Alcotest.test_case "series and peaks" `Quick series_and_peaks;
     Alcotest.test_case "conservation" `Quick playout_conservation;
     Alcotest.test_case "deterministic" `Quick playout_deterministic;

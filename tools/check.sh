@@ -48,6 +48,29 @@ if ! diff -u "$smoke_dir/metrics1.inv" "$smoke_dir/metrics4.inv"; then
   echo "FAIL: non-time metrics differ between --jobs 1 and --jobs 4" >&2
   exit 1
 fi
+echo "== fault playout determinism smoke: --jobs 1 vs --jobs 4 =="
+# The resilience playout (fault schedule + capacity-aware failover) must
+# be byte-identical at any job count, like the solver above; its console
+# report carries no timing line, so the whole stdout diffs directly.
+for j in 1 4; do
+  dune exec --no-print-directory bin/vodopt.exe -- simulate \
+    --scheme lru --videos 150 --days 14 --requests-per-video 5 \
+    --faults single-vho --link-capacity 400 --jobs "$j" \
+    --metrics "$smoke_dir/fault_metrics$j.json" \
+    > "$smoke_dir/fault$j.out"
+done
+if ! diff -u "$smoke_dir/fault1.out" "$smoke_dir/fault4.out"; then
+  echo "FAIL: fault playout differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+for j in 1 4; do
+  grep -vE '_seconds|"pool/sched/' "$smoke_dir/fault_metrics$j.json" \
+    > "$smoke_dir/fault_metrics$j.inv"
+done
+if ! diff -u "$smoke_dir/fault_metrics1.inv" "$smoke_dir/fault_metrics4.inv"; then
+  echo "FAIL: non-time fault metrics differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
 echo "== bench metrics vs METRICS.md registry =="
 # Run one quick-scale bench exhibit with --metrics and check every
 # emitted key is documented. Normalize instance-specific name parts to
@@ -57,7 +80,9 @@ VOD_SCALE=quick dune exec --no-print-directory bench/main.exe -- table3 \
   --metrics "$smoke_dir/bench_metrics.json" > /dev/null
 sed -n '/<!-- registry:begin/,/registry:end -->/p' METRICS.md \
   | grep -oE '^\| `[^`]+`' | sed 's/^| `//; s/`$//' > "$smoke_dir/registry.txt"
-keys=$(grep -oE '^  "[^"]+"' "$smoke_dir/bench_metrics.json" | tr -d ' "')
+# The fault smoke above exported the resil/* keys; validate them too.
+keys=$(grep -hoE '^  "[^"]+"' "$smoke_dir/bench_metrics.json" \
+  "$smoke_dir/fault_metrics1.json" | tr -d ' "')
 [ -n "$keys" ] || { echo "FAIL: bench --metrics emitted no keys" >&2; exit 1; }
 status=0
 for key in $keys; do
