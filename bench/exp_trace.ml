@@ -10,7 +10,7 @@ let fig2_working_set (sc : Vod_core.Scenario.t) =
   Common.section "Fig. 2 — working-set size during peak hours";
   let trace = sc.Vod_core.Scenario.trace in
   let catalog = sc.Vod_core.Scenario.catalog in
-  let peak = Vod_workload.Stats.peak_hour trace in
+  let peak = Vod_workload.Stats.peak_hour_start_s trace in
   let n = Vod_topology.Graph.n_nodes sc.Vod_core.Scenario.graph in
   let lib_gb = Vod_workload.Catalog.total_size_gb catalog in
   let lib_n = float_of_int (Vod_workload.Catalog.n_videos catalog) in

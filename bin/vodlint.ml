@@ -1,22 +1,29 @@
 (* vodlint — static analysis enforcing the repo's solver-safety
-   invariants (see DESIGN.md, "Static analysis" and "Effect analysis").
+   invariants (see DESIGN.md, "Static analysis", "Effect analysis" and
+   "Units & hot-path analysis").
 
-   Usage: vodlint [--format text|json] [--disable IDS] [--list-rules]
-                  [--project] [--baseline FILE] [--write-baseline]
-                  [PATH ...]
+   Usage: vodlint [--format text|json|github] [--disable IDS]
+                  [--list-rules] [--project] [--baseline FILE]
+                  [--write-baseline] [--forbid-stale]
+                  [--units-decl FILE] [PATH ...]
 
    With no paths it lints the default scope: lib/ bin/ bench/ examples/.
-   [--project] additionally runs the whole-project effect-analysis rules
-   (par-race, float-order, wallclock-in-solver) and subtracts the
-   accepted findings recorded in the baseline file.
-   Exit code 0 when clean, 1 on (unbaselined) findings, 2 on usage
-   errors. *)
+   [--project] additionally runs the whole-project rules — the
+   effect-analysis phase (par-race, float-order, wallclock-in-solver,
+   obs-taint) and the units/hot-path phase (unit-mismatch,
+   unit-unannotated-boundary, alloc-in-hot, seeded from --units-decl)
+   — and subtracts the accepted findings recorded in the baseline file.
+   Exit code 0 when clean, 1 on (unbaselined) findings — or stale
+   baseline entries under --forbid-stale — and 2 on usage or internal
+   analysis errors (bad flags, unreadable roots, malformed
+   units.decl). *)
 
 let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
 
 let usage =
-  "vodlint [--format text|json] [--disable IDS] [--list-rules]\n\
-  \        [--project] [--baseline FILE] [--write-baseline] [PATH ...]"
+  "vodlint [--format text|json|github] [--disable IDS] [--list-rules]\n\
+  \        [--project] [--baseline FILE] [--write-baseline]\n\
+  \        [--forbid-stale] [--units-decl FILE] [PATH ...]"
 
 let () =
   let format = ref `Text in
@@ -25,12 +32,17 @@ let () =
   let project = ref false in
   let baseline_path = ref ".vodlint-baseline" in
   let write_baseline = ref false in
+  let forbid_stale = ref false in
+  let units_decl_path = ref "units.decl" in
   let roots = ref [] in
   let set_format = function
     | "text" -> format := `Text
     | "json" -> format := `Json
+    | "github" -> format := `Github
     | other ->
-        prerr_endline ("vodlint: unknown format '" ^ other ^ "' (expected text or json)");
+        prerr_endline
+          ("vodlint: unknown format '" ^ other
+         ^ "' (expected text, json or github)");
         exit 2
   in
   let add_disabled s =
@@ -38,27 +50,37 @@ let () =
   in
   let spec =
     [
-      ("--format", Arg.String set_format, "FMT report as 'text' (default) or 'json'");
+      ( "--format",
+        Arg.String set_format,
+        "FMT report as 'text' (default), 'json' or 'github' (Actions \
+         annotations)" );
       ("--disable", Arg.String add_disabled, "IDS comma-separated rule ids to skip");
       ("--list-rules", Arg.Set list_rules, " print rule ids and descriptions, then exit");
-      ("--project", Arg.Set project, " run the whole-project effect-analysis rules too");
+      ("--project", Arg.Set project, " run the whole-project analysis phases too");
       ( "--baseline",
         Arg.Set_string baseline_path,
         "FILE accepted-findings file for --project (default .vodlint-baseline)" );
       ( "--write-baseline",
         Arg.Set write_baseline,
         " rewrite the baseline to the current findings and exit clean" );
+      ( "--forbid-stale",
+        Arg.Set forbid_stale,
+        " exit nonzero if the baseline holds stale (already-fixed) entries" );
+      ( "--units-decl",
+        Arg.Set_string units_decl_path,
+        "FILE units signature file for --project (default units.decl; missing \
+         file = no declarations)" );
     ]
   in
   Arg.parse spec (fun p -> roots := p :: !roots) usage;
   if !list_rules then begin
     List.iter
       (fun (r : Vod_lint.Rules.t) ->
-        print_endline (Printf.sprintf "%-20s [file]    %s" r.id r.doc))
+        print_endline (Printf.sprintf "%-26s [file]    %s" r.id r.doc))
       Vod_lint.Rules.all;
     List.iter
       (fun (r : Vod_lint.Project_rules.t) ->
-        print_endline (Printf.sprintf "%-20s [project] %s" r.id r.doc))
+        print_endline (Printf.sprintf "%-26s [project] %s" r.id r.doc))
       Vod_lint.Project_rules.all;
     exit 0
   end;
@@ -74,13 +96,33 @@ let () =
     List.filter (fun (r : Vod_lint.Rules.t) -> not (List.mem r.id !disabled)) Vod_lint.Rules.all
   in
   let roots = match List.rev !roots with [] -> default_roots | rs -> rs in
-  let diags =
-    try
-      if !project then Vod_lint.Engine.lint_project ~rules ~disabled:!disabled roots
-      else Vod_lint.Engine.lint_paths ~rules roots
-    with Invalid_argument msg ->
+  let units_decl =
+    try Vod_lint.Units.load_decl !units_decl_path
+    with Vod_lint.Units.Decl_error msg ->
       prerr_endline ("vodlint: " ^ msg);
       exit 2
+  in
+  (* Findings exit 1; anything that prevents the analysis from giving
+     an answer at all — bad roots, a crash in an analysis pass — is an
+     internal error and exits 2, so CI can tell "code has findings"
+     from "the linter itself is broken". *)
+  let scanned, diags =
+    try
+      let scanned = List.length (Vod_lint.Engine.discover roots) in
+      let diags =
+        if !project then
+          Vod_lint.Engine.lint_project ~rules ~disabled:!disabled ~units_decl
+            roots
+        else Vod_lint.Engine.lint_paths ~rules roots
+      in
+      (scanned, diags)
+    with
+    | Invalid_argument msg ->
+        prerr_endline ("vodlint: " ^ msg);
+        exit 2
+    | e ->
+        prerr_endline ("vodlint: internal analysis error: " ^ Printexc.to_string e);
+        exit 2
   in
   if !project && !write_baseline then begin
     Vod_lint.Baseline.(save !baseline_path (of_diagnostics diags));
@@ -90,7 +132,7 @@ let () =
          !baseline_path);
     exit 0
   end;
-  let diags, baselined =
+  let diags, baselined, stale =
     if !project then begin
       let applied = Vod_lint.Baseline.(apply (load !baseline_path) diags) in
       List.iter
@@ -99,18 +141,37 @@ let () =
             ("vodlint: stale baseline entry (no longer found): "
             ^ Vod_lint.Baseline.entry_to_string e))
         applied.stale;
-      (applied.fresh, applied.baselined)
+      (applied.fresh, applied.baselined, List.length applied.stale)
     end
-    else (diags, 0)
+    else (diags, 0, 0)
   in
+  let n = List.length diags in
   (match !format with
   | `Text ->
-      List.iter (fun d -> print_endline (Vod_lint.Diagnostic.to_text d)) diags;
-      if diags <> [] || baselined > 0 then
-        prerr_endline
-          (Printf.sprintf "vodlint: %d finding%s%s" (List.length diags)
-             (if List.length diags = 1 then "" else "s")
-             (if baselined > 0 then Printf.sprintf " (%d baselined)" baselined
-              else ""))
+      List.iter (fun d -> print_endline (Vod_lint.Diagnostic.to_text d)) diags
+  | `Github ->
+      List.iter (fun d -> print_endline (Vod_lint.Diagnostic.to_github d)) diags
   | `Json -> print_endline (Vod_lint.Diagnostic.list_to_json diags));
-  exit (if diags = [] then 0 else 1)
+  if !project then
+    prerr_endline
+      (Printf.sprintf
+         "vodlint: %d file%s scanned, %d finding%s, %d baselined%s" scanned
+         (if scanned = 1 then "" else "s")
+         n
+         (if n = 1 then "" else "s")
+         baselined
+         (if stale > 0 then Printf.sprintf ", %d stale" stale else ""))
+  else if n > 0 then
+    prerr_endline
+      (Printf.sprintf "vodlint: %d finding%s" n (if n = 1 then "" else "s"));
+  if diags <> [] then exit 1;
+  if !forbid_stale && stale > 0 then begin
+    prerr_endline
+      (Printf.sprintf
+         "vodlint: %d stale baseline entr%s under --forbid-stale; prune the \
+          baseline (vodlint --project --write-baseline)"
+         stale
+         (if stale = 1 then "y" else "ies"));
+    exit 1
+  end;
+  exit 0

@@ -159,7 +159,7 @@ let stats topology topology_file trace_file trace_out videos days rpv seed verbo
     (Vod_workload.Trace.length trace) days
     (Vod_topology.Graph.n_nodes sc.Vod_core.Scenario.graph)
     (Vod_core.Scenario.library_gb sc);
-  let peak = Vod_workload.Stats.peak_hour trace in
+  let peak = Vod_workload.Stats.peak_hour_start_s trace in
   Printf.printf "peak hour starts at day %.2f\n" (peak /. 86_400.0);
   let n = Vod_topology.Graph.n_nodes sc.Vod_core.Scenario.graph in
   let fracs =

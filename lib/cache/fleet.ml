@@ -117,20 +117,24 @@ let serve_routed t ~video ~vho ~now ~route =
           }
   end
 
+(* Hoisted: an inline [fun ~default -> Some default] would allocate a
+   closure on every fault-free serve (alloc-in-hot). *)
+let identity_route ~default = Some default
+
 let serve t ~video ~vho ~now =
-  match serve_routed t ~video ~vho ~now ~route:(fun ~default -> Some default) with
+  match serve_routed t ~video ~vho ~now ~route:identity_route with
   | Some outcome -> outcome
   | None -> invalid_arg "Fleet.serve: identity route returned None"
 
 (* ---------- constructors ---------- *)
 
-let base ~name ~paths ~catalog ~routing ~cache_capacities ~policy =
-  let n = Array.length cache_capacities in
+let base ~name ~paths ~catalog ~routing ~cache_capacities_gb ~policy =
+  let n = Array.length cache_capacities_gb in
   {
     name;
     paths;
     catalog;
-    caches = Array.map (fun c -> Cache.create ~policy ~capacity_gb:c) cache_capacities;
+    caches = Array.map (fun c -> Cache.create ~policy ~capacity_gb:c) cache_capacities_gb;
     pinned = Array.init n (fun _ -> Hashtbl.create 256);
     index = Replica_index.create ~n_videos:(Vod_workload.Catalog.n_videos catalog);
     routing;
@@ -141,7 +145,7 @@ let base ~name ~paths ~catalog ~routing ~cache_capacities ~policy =
 let mip ~solution ~paths ~catalog ~cache_gb =
   let t =
     base ~name:"mip" ~paths ~catalog ~routing:(Mip_routes solution)
-      ~cache_capacities:cache_gb ~policy:Cache.Lru
+      ~cache_capacities_gb:cache_gb ~policy:Cache.Lru
   in
   Array.iteri
     (fun video vhos -> Array.iter (fun vho -> pin t ~video ~vho) vhos)
@@ -162,7 +166,7 @@ let random_single ~paths ~catalog ~disk_gb ~policy ~seed =
         pinned_use.(vho)
         +. Vod_workload.Video.size_gb (Vod_workload.Catalog.video catalog video))
     owner;
-  let cache_capacities =
+  let cache_capacities_gb =
     Array.init n (fun i -> Float.max 0.0 (disk_gb.(i) -. pinned_use.(i)))
   in
   let name =
@@ -172,7 +176,7 @@ let random_single ~paths ~catalog ~disk_gb ~policy ~seed =
     | Cache.Lrfu lambda -> Printf.sprintf "random+lrfu(%.2g)" lambda
   in
   let t =
-    base ~name ~paths ~catalog ~routing:Oracle_nearest ~cache_capacities ~policy
+    base ~name ~paths ~catalog ~routing:Oracle_nearest ~cache_capacities_gb ~policy
   in
   Array.iteri (fun video vho -> pin t ~video ~vho) owner;
   t
@@ -208,13 +212,13 @@ let topk ~k ~ranked ~paths ~catalog ~disk_gb ~seed =
           pinned_use.(vho)
           +. Vod_workload.Video.size_gb (Vod_workload.Catalog.video catalog video))
     owner;
-  let cache_capacities =
+  let cache_capacities_gb =
     Array.init n (fun i -> Float.max 0.0 (disk_gb.(i) -. pinned_use.(i)))
   in
   let t =
     base
       ~name:(Printf.sprintf "top%d+lru" k)
-      ~paths ~catalog ~routing:Oracle_nearest ~cache_capacities ~policy:Cache.Lru
+      ~paths ~catalog ~routing:Oracle_nearest ~cache_capacities_gb ~policy:Cache.Lru
   in
   Array.iteri
     (fun video vho ->
@@ -273,7 +277,7 @@ let origin_regions ~regions ~graph ~paths ~catalog ~disk_gb =
   in
   let t =
     base ~name:"origin+lru" ~paths ~catalog ~routing:(Region_origin origins)
-      ~cache_capacities:disk_gb ~policy:Cache.Lru
+      ~cache_capacities_gb:disk_gb ~policy:Cache.Lru
   in
   (* Origins pin the full library (extra storage, per the paper's setup). *)
   let n_videos = Vod_workload.Catalog.n_videos catalog in

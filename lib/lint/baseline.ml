@@ -84,8 +84,11 @@ let apply t diags =
         else (d :: fresh, n))
       ([], 0) diags
   in
+  (* A baseline built programmatically (not via [of_string]) may hold
+     duplicate entries; report each stale line once. *)
   let stale =
     List.filter (fun e -> not (List.exists (fun d -> matches e d) diags)) t
+    |> List.sort_uniq compare_entry
   in
   { fresh = List.rev fresh; baselined; stale }
 

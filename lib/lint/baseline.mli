@@ -38,7 +38,8 @@ type applied = {
 
 val apply : t -> Diagnostic.t list -> applied
 (** Partition findings against the baseline: what is fresh, what is
-    absorbed, and which entries are stale. *)
+    absorbed, and which entries are stale. Stale entries are sorted
+    and de-duplicated even if the baseline itself holds duplicates. *)
 
 val entry_to_string : entry -> string
 (** One serialized [file TAB rule TAB message] line (no newline). *)

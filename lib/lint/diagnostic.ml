@@ -32,6 +32,29 @@ let compare a b =
 
 let to_text d = Printf.sprintf "%s:%d:%d [%s] %s" d.file d.line d.col d.rule d.message
 
+(* GitHub Actions workflow-command annotation. Property values escape
+   %, \r, \n as %25, %0D, %0A and also , and : (the property
+   separators); the free-text message only needs the first three. *)
+let gh_escape ~prop s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | ',' when prop -> Buffer.add_string buf "%2C"
+      | ':' when prop -> Buffer.add_string buf "%3A"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_github d =
+  Printf.sprintf "::warning file=%s,line=%d,col=%d,title=vodlint %s::%s"
+    (gh_escape ~prop:true d.file) d.line (d.col + 1)
+    (gh_escape ~prop:true d.rule)
+    (gh_escape ~prop:false d.message)
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter

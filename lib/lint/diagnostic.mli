@@ -18,6 +18,12 @@ val compare : t -> t -> int
 (** [file:line:col [rule-id] message] — one line, no trailing newline. *)
 val to_text : t -> string
 
+(** One finding as a GitHub Actions [::warning] workflow command, so
+    CI findings annotate the PR diff inline. Columns are converted to
+    GitHub's 1-based convention; [%], newlines and property separators
+    are escaped per the workflow-command rules. *)
+val to_github : t -> string
+
 (** One finding as a JSON object. *)
 val to_json : t -> string
 

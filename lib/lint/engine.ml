@@ -117,7 +117,7 @@ let filter_suppressed ~sources diags =
       | None -> true)
     diags
 
-let project_core ~rules ~disabled ~on_disk files =
+let project_core ~rules ~disabled ~units_decl ~on_disk files =
   (* files : (path * src * (ast, exn) result) list *)
   let phase1 =
     List.concat_map
@@ -137,13 +137,14 @@ let project_core ~rules ~disabled ~on_disk files =
   in
   let sources = List.map (fun (path, src, _) -> (path, src)) files in
   let phase2 =
-    Project_rules.run ~disabled impls |> filter_suppressed ~sources
+    Project_rules.run ~disabled ~units_decl impls |> filter_suppressed ~sources
   in
   (* Sorted by (file, line, col, rule) and de-duplicated, so project
      reports and the baseline file are diff-stable across runs. *)
   List.sort_uniq Diagnostic.compare (phase1 @ phase2)
 
-let lint_project ?(rules = Rules.all) ?(disabled = []) roots =
+let lint_project ?(rules = Rules.all) ?(disabled = [])
+    ?(units_decl = Units.empty_decl) roots =
   let files =
     discover roots
     |> List.map (fun path ->
@@ -151,9 +152,10 @@ let lint_project ?(rules = Rules.all) ?(disabled = []) roots =
            let parsed = try Ok (parse_file path) with e -> Error e in
            (path, src, parsed))
   in
-  project_core ~rules ~disabled ~on_disk:true files
+  project_core ~rules ~disabled ~units_decl ~on_disk:true files
 
-let lint_project_strings ?(rules = Rules.all) ?(disabled = []) sources =
+let lint_project_strings ?(rules = Rules.all) ?(disabled = [])
+    ?(units_decl = Units.empty_decl) sources =
   let files =
     List.map
       (fun (path, src) ->
@@ -161,4 +163,4 @@ let lint_project_strings ?(rules = Rules.all) ?(disabled = []) sources =
         (path, src, parsed))
       sources
   in
-  project_core ~rules ~disabled ~on_disk:false files
+  project_core ~rules ~disabled ~units_decl ~on_disk:false files

@@ -28,14 +28,20 @@ val lint_paths : ?rules:Rules.t list -> string list -> Diagnostic.t list
     comments suppress findings from both phases. The merged list is
     sorted by (file, line, col, rule) and de-duplicated, so output and
     baselines are diff-stable. Baseline subtraction is the caller's
-    job ({!Baseline.apply}). *)
+    job ({!Baseline.apply}). [units_decl] (default
+    {!Units.empty_decl}) seeds the phase-3 units dataflow. *)
 val lint_project :
-  ?rules:Rules.t list -> ?disabled:string list -> string list -> Diagnostic.t list
+  ?rules:Rules.t list ->
+  ?disabled:string list ->
+  ?units_decl:Units.decl ->
+  string list ->
+  Diagnostic.t list
 
 (** Same, over in-memory [(path, source)] pairs — the test entry point
     for multi-file fixtures. *)
 val lint_project_strings :
   ?rules:Rules.t list ->
   ?disabled:string list ->
+  ?units_decl:Units.decl ->
   (string * string) list ->
   Diagnostic.t list

@@ -37,6 +37,28 @@ let all =
          lib/ outside lib/obs: metric values must never flow back into \
          solver numerics; reading belongs to the bin/ and bench/ front ends";
     };
+    {
+      id = "unit-mismatch";
+      doc =
+        "units-of-measure conflict: adding/subtracting/comparing values of \
+         different inferred units, or passing an argument whose unit \
+         contradicts the parameter's declared or name-derived unit (seeded \
+         from _gb/_mbps/_s/... suffixes and units.decl)";
+    };
+    {
+      id = "unit-unannotated-boundary";
+      doc =
+        "a unit-carrying value flows into a parameter of a units.decl-covered \
+         core module that has no declared or name-derived unit; annotate the \
+         parameter in units.decl or give it a unit-suffix name";
+    };
+    {
+      id = "alloc-in-hot";
+      doc =
+        "heap allocation (closure, list, tuple, ref, boxed float) inside the \
+         call-graph closure of Pool task bodies or the serving inner loops \
+         (Sim/Playout/Capacity/Router/Fleet/Metrics), ranked by obs phase";
+    };
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all
@@ -351,7 +373,8 @@ let obs_taint ~file (str : structure) =
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
-let run ?(disabled = []) (files : (string * structure) list) =
+let run ?(disabled = []) ?(units_decl = Units.empty_decl)
+    (files : (string * structure) list) =
   let enabled id = not (List.mem id disabled) in
   let analyses =
     List.map (fun (path, str) -> Effects.analyze_impl ~path str) files
@@ -367,4 +390,12 @@ let run ?(disabled = []) (files : (string * structure) list) =
         @ (if enabled "obs-taint" then obs_taint ~file:path str else []))
       (List.combine files analyses)
   in
-  per_file
+  let units_diags =
+    let mismatch = enabled "unit-mismatch" in
+    let boundary = enabled "unit-unannotated-boundary" in
+    if mismatch || boundary then
+      Units.run ~decl:units_decl ~mismatch ~boundary files
+    else []
+  in
+  let hot_diags = if enabled "alloc-in-hot" then Hotpath.run files else [] in
+  per_file @ units_diags @ hot_diags

@@ -18,7 +18,16 @@
       the library could feed solver numerics, silently breaking the
       determinism contract the recording side is careful to keep.
       Exporting registries belongs to the [bin/] and [bench/] front
-      ends. *)
+      ends.
+
+    Phase-3 rules also dispatch from here:
+
+    - [unit-mismatch] / [unit-unannotated-boundary] — the {!Units}
+      interprocedural units-of-measure dataflow, seeded from name
+      suffixes and the [units_decl] signature file;
+    - [alloc-in-hot] — the {!Hotpath} allocation analysis over the
+      call-graph closure of Pool task bodies and the serving inner
+      loops. *)
 
 type t = { id : string; doc : string }
 
@@ -30,9 +39,12 @@ val find : string -> t option
 
 val run :
   ?disabled:string list ->
+  ?units_decl:Units.decl ->
   (string * Parsetree.structure) list ->
   Diagnostic.t list
 (** Run every enabled project rule over the given [(path, ast)] pairs
-    (implementation files only). Diagnostics are unsorted and
+    (implementation files only). [units_decl] (default
+    {!Units.empty_decl}) seeds the units dataflow; without it the
+    boundary rule is vacuous. Diagnostics are unsorted and
     unsuppressed — {!Engine} applies [vodlint-disable] filtering and
     ordering. *)

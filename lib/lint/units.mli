@@ -1,0 +1,71 @@
+(** Phase-3a of the whole-project analysis: interprocedural
+    units-of-measure dataflow over float/int expressions.
+
+    Units are inferred from two seeds and propagated everywhere else:
+
+    - {e naming conventions} — a trailing run of unit tokens on a
+      binding, parameter, label or record-field name ([size_gb],
+      [rate_mbps], [window_s], [total_gb_hops], [requests_per_day])
+      denotes its unit; [per] divides the next token, so
+      [seconds_per_day] is s/day;
+    - {e units.decl} — an explicit signature file declaring parameter
+      and return units for the core quantity-bearing APIs
+      ([Video.size_gb], [Capacity], [Fleet], [Metrics], [Instance],
+      the link tables), see the repo-root [units.decl].
+
+    Propagation runs through let-bindings, arithmetic ([+.]/[-.] and
+    comparisons require equal units; [*.]/[/.] compose dimensions, so
+    GB divided by GB/s is seconds), record fields, and cross-module
+    calls via a monotone fixpoint over per-function summaries in the
+    style of {!Summaries}. Numeric literals are unit-polymorphic: they
+    adopt the unit of the other additive operand and never fire on
+    [x > 0.0] guards, but they poison multiplication to Unknown — a
+    scale conversion must go through a named constant
+    ([seconds_per_hour]) to keep its unit.
+
+    Two rules are reported:
+
+    - [unit-mismatch] — adding, subtracting, comparing or assigning
+      across different inferred units, or passing an argument whose
+      unit contradicts the parameter's declared/derived unit;
+    - [unit-unannotated-boundary] — a unit-carrying argument flows
+      into a parameter of a declared core module
+      ([units.decl]-covered) that has no unit; reported once per
+      (function, parameter) at the function's definition. *)
+
+type decl
+(** Parsed contents of a [units.decl] signature file. *)
+
+exception Decl_error of string
+(** Raised on a malformed declaration file. The CLI maps this to exit
+    code 2 (configuration error), not a finding. *)
+
+val empty_decl : decl
+(** No declarations: suffix inference still runs, the boundary rule is
+    vacuous (it only covers declared modules). *)
+
+val decl_of_string : string -> decl
+(** Parse declarations. Lines are
+    [Module.name \[label=UNIT\]... \[argN=UNIT\]... \[-> UNIT\]];
+    [#] starts a comment. A UNIT is atoms joined with [*] and [/]
+    ([gb], [mb/s], [gb*hops], [1/day]); [1] is dimensionless.
+    Raises {!Decl_error} on malformed input. *)
+
+val load_decl : string -> decl
+(** Load a declaration file; a missing file is {!empty_decl}.
+    Raises {!Decl_error} on malformed contents. *)
+
+val decl_values : decl -> string list
+(** The qualified value names declared, in file order — used by the
+    stale-declaration check in [tools/check.sh] and its tests. *)
+
+val run :
+  decl:decl ->
+  mismatch:bool ->
+  boundary:bool ->
+  (string * Parsetree.structure) list ->
+  Diagnostic.t list
+(** Run the units dataflow over every implementation file at once.
+    [mismatch]/[boundary] gate the two rules. Diagnostics are
+    unsorted and unsuppressed — {!Engine} applies [vodlint-disable]
+    filtering and ordering. *)

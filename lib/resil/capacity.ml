@@ -100,12 +100,13 @@ let heap_pop t =
 
 let saturated t link = t.load.(link) >= t.sat_frac *. t.capacity_mbps.(link)
 
-let update_saturation t ~now link =
+let update_saturation t ~now_s link =
   if t.capacity_mbps.(link) < Float.infinity then begin
     let sat = saturated t link in
-    if sat && t.sat_since.(link) < 0.0 then t.sat_since.(link) <- now
+    if sat && t.sat_since.(link) < 0.0 then t.sat_since.(link) <- now_s
     else if (not sat) && t.sat_since.(link) >= 0.0 then begin
-      t.sat_total_s <- t.sat_total_s +. Float.max 0.0 (now -. t.sat_since.(link));
+      t.sat_total_s <-
+        t.sat_total_s +. Float.max 0.0 (now_s -. t.sat_since.(link));
       t.sat_since.(link) <- -1.0
     end
   end
@@ -119,25 +120,34 @@ let expire t ~now =
       let e = heap_pop t in
       t.load.(e.link) <- Float.max 0.0 (t.load.(e.link) -. e.rate);
       (* The bandwidth came back at the stream's end time, not at [now]. *)
-      update_saturation t ~now:e.until_s e.link
+      update_saturation t ~now_s:e.until_s e.link
     done
 
 let eps = 1e-9
 
+(* Tail-recursive rather than [Array.for_all]: the lambda would be a
+   fresh closure on every admission check, once per request in the
+   resil playout loop (alloc-in-hot). *)
+let rec links_fit t ~links ~rate_mbps i =
+  i >= Array.length links
+  ||
+  let l = links.(i) in
+  t.load.(l) +. rate_mbps <= t.capacity_mbps.(l) +. eps
+  && links_fit t ~links ~rate_mbps (i + 1)
+
 let fits t ~links ~rate_mbps =
-  t.unbounded
-  || Array.for_all
-       (fun l -> t.load.(l) +. rate_mbps <= t.capacity_mbps.(l) +. eps)
-       links
+  t.unbounded || links_fit t ~links ~rate_mbps 0
 
 let reserve t ~links ~rate_mbps ~until_s ~now =
   if not t.unbounded then
-    Array.iter
-      (fun l ->
-        t.load.(l) <- t.load.(l) +. rate_mbps;
-        heap_push t { until_s; link = l; rate = rate_mbps };
-        update_saturation t ~now l)
-      links
+    (* Explicit loop for the same reason as [links_fit]: no per-call
+       closure on the admission path. *)
+    for i = 0 to Array.length links - 1 do
+      let l = links.(i) in
+      t.load.(l) <- t.load.(l) +. rate_mbps;
+      heap_push t { until_s; link = l; rate = rate_mbps };
+      update_saturation t ~now_s:now l
+    done
 
 (* Close any still-open saturation interval at the end of the playout. *)
 let finish t ~now =

@@ -120,6 +120,14 @@ let account_reject (metrics : Vod_sim.Metrics.t) (reason : Router.reject_reason)
         deg.Vod_sim.Metrics.rejected_no_capacity + 1);
   reject_obs reason
 
+(* Hoisted out of the request loop: defining this as a local function
+   per request allocated a closure per request (alloc-in-hot). *)
+let count_request metrics ~track_per_vho ~vho =
+  metrics.Vod_sim.Metrics.requests <- metrics.Vod_sim.Metrics.requests + 1;
+  if track_per_vho then
+    metrics.Vod_sim.Metrics.per_vho_requests.(vho) <-
+      metrics.Vod_sim.Metrics.per_vho_requests.(vho) + 1
+
 (* Play a time-sorted request batch through [fleet] under the fault
    timeline, accumulating into [metrics]. Mirrors Vod_sim.Sim.play's
    accounting exactly in the served cases. *)
@@ -138,17 +146,11 @@ let play t metrics (catalog : Vod_workload.Catalog.t) fleet
       ignore (State.advance t.state ~now ~on_event:(on_event t) : int);
       Capacity.expire t.capacity ~now;
       let record = Vod_sim.Metrics.in_record_window metrics now in
-      let count_request () =
-        metrics.Vod_sim.Metrics.requests <- metrics.Vod_sim.Metrics.requests + 1;
-        if track_per_vho then
-          metrics.Vod_sim.Metrics.per_vho_requests.(vho) <-
-            metrics.Vod_sim.Metrics.per_vho_requests.(vho) + 1
-      in
       if record then t.win_requests <- t.win_requests + 1;
       if not (State.vho_up t.state vho) then begin
         (* The requesting VHO is dark: nobody there to serve. *)
         if record then begin
-          count_request ();
+          count_request metrics ~track_per_vho ~vho;
           account_reject metrics Router.Vho_down;
           t.win_rejections <- t.win_rejections + 1
         end
@@ -173,7 +175,7 @@ let play t metrics (catalog : Vod_workload.Catalog.t) fleet
         match Vod_cache.Fleet.serve_routed fleet ~video ~vho ~now ~route with
         | Some outcome ->
             if record then begin
-              count_request ();
+              count_request metrics ~track_per_vho ~vho;
               if outcome.Vod_cache.Fleet.local then begin
                 metrics.Vod_sim.Metrics.local_served <-
                   metrics.Vod_sim.Metrics.local_served + 1;
@@ -195,11 +197,15 @@ let play t metrics (catalog : Vod_workload.Catalog.t) fleet
             if not outcome.Vod_cache.Fleet.local then begin
               match !decision with
               | Router.Served s ->
-                  Array.iter
-                    (fun l ->
-                      Vod_sim.Metrics.add_stream metrics ~link:l ~rate_mbps:rate
-                        ~t0:now ~t1:(now +. dur))
-                    s.Router.links;
+                  (* Explicit loop: an [Array.iter] lambda here is a
+                     fresh closure per served remote request
+                     (alloc-in-hot). *)
+                  let t1 = now +. dur in
+                  let links = s.Router.links in
+                  for i = 0 to Array.length links - 1 do
+                    Vod_sim.Metrics.add_stream metrics ~link:links.(i)
+                      ~rate_mbps:rate ~t0:now ~t1
+                  done;
                   if record then begin
                     let hops = float_of_int s.Router.hops in
                     let gb = Vod_workload.Video.size_gb v *. surge in
@@ -232,7 +238,7 @@ let play t metrics (catalog : Vod_workload.Catalog.t) fleet
             end
         | None ->
             if record then begin
-              count_request ();
+              count_request metrics ~track_per_vho ~vho;
               (match !decision with
               | Router.Rejected reason -> account_reject metrics reason
               | Router.Served _ ->

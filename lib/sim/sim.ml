@@ -46,9 +46,13 @@ let play metrics (paths : Vod_topology.Paths.t)
         let rate = Vod_workload.Video.rate_mbps v in
         let dur = Vod_workload.Video.duration_s v in
         let links = Vod_topology.Paths.path_links paths ~src:server ~dst:vho in
-        Array.iter
-          (fun l -> Metrics.add_stream metrics ~link:l ~rate_mbps:rate ~t0:now ~t1:(now +. dur))
-          links;
+        (* Explicit loop: an [Array.iter] lambda here is a fresh
+           closure per remote request, in the hottest loop of the
+           playout (alloc-in-hot). *)
+        let t1 = now +. dur in
+        for i = 0 to Array.length links - 1 do
+          Metrics.add_stream metrics ~link:links.(i) ~rate_mbps:rate ~t0:now ~t1
+        done;
         if record then begin
           let hops = float_of_int (Vod_topology.Paths.hops paths ~src:server ~dst:vho) in
           let gb = Vod_workload.Video.size_gb v in

@@ -1,9 +1,9 @@
 (* Trace analytics backing the paper's Sec. IV motivation figures and the
    peak-window machinery of Sec. VI-B. *)
 
-(* [peak_hour trace] returns the start time (seconds) of the busiest
+(* [peak_hour_start_s trace] returns the start time (seconds) of the busiest
    1-hour-aligned window of the trace. *)
-let peak_hour (trace : Trace.t) =
+let peak_hour_start_s (trace : Trace.t) =
   let hours = trace.Trace.days * 24 in
   let counts = Array.make hours 0 in
   Trace.iter
@@ -15,11 +15,11 @@ let peak_hour (trace : Trace.t) =
   Array.iteri (fun h c -> if c > counts.(!best) then best := h) counts;
   float_of_int !best *. 3600.0
 
-(* [peak_hours trace ~k] returns the start times of the [k] busiest
+(* [peak_hour_starts_s trace ~k] returns the start times of the [k] busiest
    1-hour-aligned windows on *distinct days* — the paper enforces link
    constraints at |T| = 2 peak windows, typically Friday and Saturday
    evenings. *)
-let peak_hours (trace : Trace.t) ~k =
+let peak_hour_starts_s (trace : Trace.t) ~k =
   let hours = trace.Trace.days * 24 in
   let counts = Array.make hours 0 in
   Trace.iter
@@ -43,7 +43,7 @@ let peak_hours (trace : Trace.t) ~k =
    with Exit -> ());
   List.rev_map (fun h -> float_of_int h *. 3600.0) !chosen |> List.rev
 
-(* Generalization of [peak_hours] to an arbitrary window size: the start
+(* Generalization of [peak_hour_starts_s] to an arbitrary window size: the start
    times of the [k] busiest [window_s]-aligned windows on distinct days.
    Used for Table V, where the paper varies the peak window from 1 s to
    1 day. *)
@@ -110,7 +110,7 @@ let request_vector (trace : Trace.t) ~vho ~t0 ~t1 =
    size [w]; compare the interval containing the global peak instant with
    the previous interval, per VHO. Returns the per-VHO similarity array. *)
 let peak_interval_similarity (trace : Trace.t) ~window_s =
-  let peak_t = peak_hour trace +. 1800.0 (* middle of the peak hour *) in
+  let peak_t = peak_hour_start_s trace +. 1800.0 (* middle of the peak hour *) in
   let idx = int_of_float (peak_t /. window_s) in
   if idx = 0 then Array.make trace.Trace.n_vhos 1.0
   else

@@ -3,11 +3,11 @@
     machinery of Sec. VI-B / Table V. *)
 
 (** Start time (s) of the busiest 1-hour-aligned window. *)
-val peak_hour : Trace.t -> float
+val peak_hour_start_s : Trace.t -> float
 
 (** Start times of the [k] busiest 1-hour windows on distinct days (the
     paper's |T| = 2 peak link-constraint windows). *)
-val peak_hours : Trace.t -> k:int -> float list
+val peak_hour_starts_s : Trace.t -> k:int -> float list
 
 (** [peak_windows t ~window_s ~k]: start times of the [k] busiest
     [window_s]-aligned windows on distinct days (Table V's sweep from 1 s

@@ -390,6 +390,236 @@ let multiline_suppression () =
   Alcotest.(check (list string)) "multi-line comment suppresses" []
     (fired sup_multiline)
 
+(* --- project mode: units dataflow (phase 3a) ---------------------- *)
+
+(* Findings of one rule under project mode with a units.decl in play. *)
+let project_fired_u ?(decl = Vod_lint.Units.empty_decl) rule files =
+  Vod_lint.Engine.lint_project_strings ~units_decl:decl files
+  |> List.filter_map (fun (d : Vod_lint.Diagnostic.t) ->
+         if d.rule = rule then Some d.file else None)
+
+let check_units_fires ?decl rule ~in_file files () =
+  Alcotest.(check bool)
+    (rule ^ " fires in " ^ in_file)
+    true
+    (List.mem in_file (project_fired_u ?decl rule files))
+
+let check_units_quiet ?decl rule files () =
+  Alcotest.(check (list string)) (rule ^ " quiet") []
+    (project_fired_u ?decl rule files)
+
+(* Adding GB to seconds: the suffix convention seeds both params. *)
+let um_add_bad =
+  [ ("lib/fake/um1.ml", "let total ~size_gb ~duration_s = size_gb +. duration_s") ]
+
+(* Comparing across units is as wrong as adding them. *)
+let um_cmp_bad =
+  [ ("lib/fake/um2.ml", "let over ~cap_gb ~window_s = cap_gb > window_s") ]
+
+(* Division composes dimensions: GB / (GB/s) = s, so a _s name is
+   honest... *)
+let um_div_ok =
+  [ ("lib/fake/um3.ml", "let drain_s ~size_gb ~rate_gbps = size_gb /. rate_gbps") ]
+
+(* ...and a _gb name on the same body contradicts the derived unit. *)
+let um_div_bad =
+  [ ("lib/fake/um4.ml", "let drain_gb ~size_gb ~rate_gbps = size_gb /. rate_gbps") ]
+
+(* Scale conversion through a named constant keeps the unit:
+   day * s/day = s. *)
+let um_conv_ok =
+  [
+    ( "lib/fake/um5.ml",
+      "let seconds_per_day = 86400.0\n\
+       let horizon_s ~days = days *. seconds_per_day" );
+  ]
+
+(* A bare literal poisons multiplication to Unknown — no false
+   mismatch on the later compare. *)
+let um_scalar_ok =
+  [
+    ( "lib/fake/um6.ml",
+      "let f ~size_gb ~window_s = (size_gb *. 2.0) > window_s" );
+  ]
+
+(* The unit flows through a cross-module call: Depot.capacity has no
+   name suffix, its return unit comes from the summary fixpoint. *)
+let um_cross_module =
+  [
+    ("lib/fake/depot.ml", "let capacity ~size_gb = size_gb");
+    ( "lib/fake/shop.ml",
+      "let check ~window_s ~size_gb = Depot.capacity ~size_gb > window_s" );
+  ]
+
+let um_suppressed =
+  [
+    ( "lib/fake/um7.ml",
+      "let total ~size_gb ~duration_s =\n\
+      \  (* vodlint-disable unit-mismatch -- deliberate mixed sum *)\n\
+      \  size_gb +. duration_s" );
+  ]
+
+(* Boundary rule: Depot is decl-covered, [window] is unannotated and
+   receives a seconds value — report at the definition. Declaring the
+   parameter resolves it. *)
+let ub_files =
+  [
+    ("lib/fake/depot.ml", "let put ~rate_mbps ~window = ignore rate_mbps; ignore window");
+    ( "lib/fake/user.ml",
+      "let go ~rate_mbps ~window_s = Depot.put ~rate_mbps ~window:window_s" );
+  ]
+
+let ub_decl_partial = Vod_lint.Units.decl_of_string "Depot.put rate_mbps=mb/s\n"
+
+let ub_decl_full =
+  Vod_lint.Units.decl_of_string "Depot.put rate_mbps=mb/s window=s\n"
+
+(* A decl-declared argument unit is checked at the call site even when
+   the callee body is out of scan scope. *)
+let um_decl_arg_bad =
+  [ ("lib/fake/caller.ml", "let go ~window_s = Depot.put ~rate_mbps:window_s ~window:0.0") ]
+
+let decl_parse_roundtrip () =
+  let d =
+    Vod_lint.Units.decl_of_string
+      "# comment\n\
+       Video.size_gb -> gb\n\
+       Metrics.add_stream rate_mbps=mb/s t0=s # trailing comment\n\
+       Trace.day_of_time arg1=s -> day\n"
+  in
+  Alcotest.(check (list string))
+    "decl_values in file order"
+    [ "Video.size_gb"; "Metrics.add_stream"; "Trace.day_of_time" ]
+    (Vod_lint.Units.decl_values d)
+
+let decl_parse_errors () =
+  let raises src =
+    match Vod_lint.Units.decl_of_string src with
+    | _ -> false
+    | exception Vod_lint.Units.Decl_error _ -> true
+  in
+  Alcotest.(check bool) "unqualified name rejected" true (raises "size_gb -> gb\n");
+  Alcotest.(check bool) "stray token rejected" true (raises "Video.size_gb gb\n");
+  Alcotest.(check bool) "dangling arrow rejected" true (raises "Video.size_gb ->\n")
+
+(* --- project mode: hot-path allocations (phase 3b) ----------------- *)
+
+(* Capacity.fits is a loop-hot root (called once per request): a
+   per-call iterator closure fires even with no syntactic loop. The
+   hoisted tail-recursive form — the shape of the real fix — is quiet. *)
+let ah_percall_bad =
+  [
+    ( "lib/fake/capacity.ml",
+      "let fits _t ~rate_mbps links = Array.for_all (fun l -> l >= rate_mbps) links" );
+  ]
+
+let ah_percall_good =
+  [
+    ( "lib/fake/capacity.ml",
+      "let rec links_fit ~rate_mbps links i =\n\
+      \  i >= Array.length links\n\
+      \  || (links.(i) >= rate_mbps && links_fit ~rate_mbps links (i + 1))\n\
+       let fits _t ~rate_mbps links = links_fit ~rate_mbps links 0" );
+  ]
+
+(* Sim.run is a root but not loop-hot: only allocations inside its
+   loops fire. A closure born per while/for iteration is the original
+   Sim.play defect; the explicit inner for loop is the fix. *)
+let ah_loop_bad =
+  [
+    ( "lib/fake/sim.ml",
+      "let run links n =\n\
+      \  for _i = 1 to n do\n\
+      \    Array.iter (fun l -> ignore l) links\n\
+      \  done" );
+  ]
+
+let ah_loop_good =
+  [
+    ( "lib/fake/sim.ml",
+      "let run links n =\n\
+      \  for _i = 1 to n do\n\
+      \    for j = 0 to Array.length links - 1 do\n\
+      \      ignore links.(j)\n\
+      \    done\n\
+      \  done" );
+  ]
+
+(* Pool task bodies are hot by construction: a list built per task
+   element fires without any root-table entry. *)
+let ah_pool_task =
+  [
+    ( "lib/fake/worker.ml",
+      "let go pool a =\n\
+      \  Vod_util.Pool.map pool ~f:(fun xs -> List.map (fun x -> x +. 1.0) xs) a" );
+  ]
+
+(* Float boxing: a polymorphic compare whose operand is syntactically
+   float boxes both sides on every call of a loop-hot root. *)
+let ah_float_box =
+  [
+    ( "lib/fake/router.ml",
+      "let route _t a b = if compare (a *. 1.5) b > 0 then a else b" );
+  ]
+
+(* Metrics.add_stream with straight-line array arithmetic: hot but
+   allocation-free. *)
+let ah_clean =
+  [
+    ( "lib/fake/metrics.ml",
+      "let add_stream t ~rate_mbps =\n\
+      \  for i = 0 to Array.length t - 1 do\n\
+      \    t.(i) <- t.(i) +. rate_mbps\n\
+      \  done" );
+  ]
+
+(* Regression: Stats.peak_hour returned seconds under an hour-suffixed
+   name (real defect, renamed to peak_hour_start_s). *)
+let reg_peak_hour_bad =
+  [ ("lib/fake/stats.ml", "let peak_hour ~bin_start_s = bin_start_s") ]
+
+let reg_peak_hour_good =
+  [ ("lib/fake/stats.ml", "let peak_hour_start_s ~bin_start_s = bin_start_s") ]
+
+(* Regression: Fleet.serve allocated an identity route closure per
+   request (real defect, hoisted to a toplevel function). *)
+let reg_fleet_route_bad =
+  [
+    ( "lib/fake/fleet.ml",
+      "let serve_routed _t ~route = route ~default:1\n\
+       let serve t = serve_routed t ~route:(fun ~default -> Some default)" );
+  ]
+
+let reg_fleet_route_good =
+  [
+    ( "lib/fake/fleet.ml",
+      "let serve_routed _t ~route = route ~default:1\n\
+       let identity_route ~default = Some default\n\
+       let serve t = serve_routed t ~route:identity_route" );
+  ]
+
+(* --- to_github / baseline dedupe / CLI-facing bits ----------------- *)
+
+let github_format () =
+  let d =
+    diag ~file:"lib/a,b.ml" ~line:3 ~rule:"par-race" ~message:"bad%\nnews"
+  in
+  Alcotest.(check string) "workflow-command escaping"
+    "::warning file=lib/a%2Cb.ml,line=3,col=1,title=vodlint par-race::bad%25%0Anews"
+    (Vod_lint.Diagnostic.to_github d)
+
+let baseline_stale_dedupe () =
+  (* A duplicated baseline entry must surface as ONE stale line, so
+     --forbid-stale output is stable and actionable. *)
+  let b =
+    Vod_lint.Baseline.of_string
+      "lib/a.ml\tpar-race\tgone\nlib/a.ml\tpar-race\tgone\n"
+  in
+  let applied = Vod_lint.Baseline.apply b [] in
+  Alcotest.(check (list string)) "stale de-duplicated"
+    [ "lib/a.ml\tpar-race\tgone" ]
+    (List.map Vod_lint.Baseline.entry_to_string applied.stale)
+
 let suite =
   [
     Alcotest.test_case "poly-compare fires on bare sort" `Quick (check_fires "poly-compare" pc_bad);
@@ -512,4 +742,62 @@ let suite =
     Alcotest.test_case "baseline skips comments and blanks" `Quick
       baseline_ignores_comments;
     Alcotest.test_case "multi-line suppression comment" `Quick multiline_suppression;
+    (* project mode: unit-mismatch *)
+    Alcotest.test_case "unit-mismatch fires on gb + s" `Quick
+      (check_units_fires "unit-mismatch" ~in_file:"lib/fake/um1.ml" um_add_bad);
+    Alcotest.test_case "unit-mismatch fires on gb > s compare" `Quick
+      (check_units_fires "unit-mismatch" ~in_file:"lib/fake/um2.ml" um_cmp_bad);
+    Alcotest.test_case "unit-mismatch quiet on gb/(gb/s) named _s" `Quick
+      (check_units_quiet "unit-mismatch" um_div_ok);
+    Alcotest.test_case "unit-mismatch fires on gb/(gb/s) named _gb" `Quick
+      (check_units_fires "unit-mismatch" ~in_file:"lib/fake/um4.ml" um_div_bad);
+    Alcotest.test_case "unit-mismatch quiet on named-constant conversion" `Quick
+      (check_units_quiet "unit-mismatch" um_conv_ok);
+    Alcotest.test_case "unit-mismatch quiet on scalar-poisoned product" `Quick
+      (check_units_quiet "unit-mismatch" um_scalar_ok);
+    Alcotest.test_case "unit-mismatch fires through cross-module summary" `Quick
+      (check_units_fires "unit-mismatch" ~in_file:"lib/fake/shop.ml" um_cross_module);
+    Alcotest.test_case "unit-mismatch suppressible inline" `Quick
+      (check_units_quiet "unit-mismatch" um_suppressed);
+    Alcotest.test_case "unit-mismatch fires on decl-declared argument" `Quick
+      (check_units_fires ~decl:ub_decl_partial "unit-mismatch"
+         ~in_file:"lib/fake/caller.ml" um_decl_arg_bad);
+    (* project mode: unit-unannotated-boundary *)
+    Alcotest.test_case "boundary fires at the unannotated core parameter" `Quick
+      (check_units_fires ~decl:ub_decl_partial "unit-unannotated-boundary"
+         ~in_file:"lib/fake/depot.ml" ub_files);
+    Alcotest.test_case "boundary quiet once the parameter is declared" `Quick
+      (check_units_quiet ~decl:ub_decl_full "unit-unannotated-boundary" ub_files);
+    Alcotest.test_case "boundary quiet with no declarations at all" `Quick
+      (check_units_quiet "unit-unannotated-boundary" ub_files);
+    Alcotest.test_case "units.decl parses and lists values" `Quick decl_parse_roundtrip;
+    Alcotest.test_case "units.decl rejects malformed lines" `Quick decl_parse_errors;
+    (* project mode: alloc-in-hot *)
+    Alcotest.test_case "alloc-in-hot fires on per-call closure in loop-hot root" `Quick
+      (check_units_fires "alloc-in-hot" ~in_file:"lib/fake/capacity.ml" ah_percall_bad);
+    Alcotest.test_case "alloc-in-hot quiet on hoisted tail recursion" `Quick
+      (check_units_quiet "alloc-in-hot" ah_percall_good);
+    Alcotest.test_case "alloc-in-hot fires on per-iteration closure" `Quick
+      (check_units_fires "alloc-in-hot" ~in_file:"lib/fake/sim.ml" ah_loop_bad);
+    Alcotest.test_case "alloc-in-hot quiet on explicit inner for loop" `Quick
+      (check_units_quiet "alloc-in-hot" ah_loop_good);
+    Alcotest.test_case "alloc-in-hot fires inside Pool task body" `Quick
+      (check_units_fires "alloc-in-hot" ~in_file:"lib/fake/worker.ml" ah_pool_task);
+    Alcotest.test_case "alloc-in-hot fires on float polymorphic compare" `Quick
+      (check_units_fires "alloc-in-hot" ~in_file:"lib/fake/router.ml" ah_float_box);
+    Alcotest.test_case "alloc-in-hot quiet on allocation-free hot root" `Quick
+      (check_units_quiet "alloc-in-hot" ah_clean);
+    (* regressions for real defects fixed by this analysis *)
+    Alcotest.test_case "regression: peak_hour returning seconds fires" `Quick
+      (check_units_fires "unit-mismatch" ~in_file:"lib/fake/stats.ml" reg_peak_hour_bad);
+    Alcotest.test_case "regression: peak_hour_start_s rename is quiet" `Quick
+      (check_units_quiet "unit-mismatch" reg_peak_hour_good);
+    Alcotest.test_case "regression: inline identity route closure fires" `Quick
+      (check_units_fires "alloc-in-hot" ~in_file:"lib/fake/fleet.ml" reg_fleet_route_bad);
+    Alcotest.test_case "regression: hoisted identity route is quiet" `Quick
+      (check_units_quiet "alloc-in-hot" reg_fleet_route_good);
+    (* CLI-facing output *)
+    Alcotest.test_case "github annotation format and escaping" `Quick github_format;
+    Alcotest.test_case "stale baseline entries de-duplicated" `Quick
+      baseline_stale_dedupe;
   ]

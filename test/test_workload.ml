@@ -190,7 +190,7 @@ let peak_windows_distinct_days () =
 let working_set_sane () =
   let c = small_catalog () in
   let t = small_trace c in
-  let peak = S.peak_hour t in
+  let peak = S.peak_hour_start_s t in
   let distinct, gb = S.working_set t c ~vho:0 ~t0:peak ~t1:(peak +. 3600.0) in
   Alcotest.(check bool) "some distinct videos" true (distinct > 0);
   Alcotest.(check bool) "gb positive" true (gb > 0.0);
@@ -207,7 +207,7 @@ let cosine_window_monotone () =
 let concurrency_counts () =
   let c = small_catalog () in
   let t = small_trace c in
-  let peak = S.peak_hour t in
+  let peak = S.peak_hour_start_s t in
   let conc = S.concurrency t c ~t0:peak ~t1:(peak +. 3600.0) in
   let agg = S.aggregate_demand t in
   Alcotest.(check bool) "nonempty" true (Hashtbl.length conc > 0);

@@ -183,7 +183,7 @@ let concurrency_window_monotone () =
   let c = catalog () in
   let t = trace c in
   let total window_s =
-    let peak = S.peak_hour t in
+    let peak = S.peak_hour_start_s t in
     let tbl = S.concurrency t c ~t0:peak ~t1:(peak +. window_s) in
     Hashtbl.fold (fun _ n acc -> acc + n) tbl 0
   in

@@ -18,10 +18,31 @@ if command -v odoc >/dev/null 2>&1; then
 else
   echo "   (odoc not installed; skipping — CI runs this step)"
 fi
-echo "== dune build @lint (project mode: effect analysis + baseline) =="
+echo "== dune build @lint (project mode: effect + units/hot-path analysis) =="
 dune build @lint
 echo "== vodlint --project (explicit, against the checked-in baseline) =="
-dune exec --no-print-directory bin/vodlint.exe -- --project --baseline .vodlint-baseline
+dune exec --no-print-directory bin/vodlint.exe -- --project \
+  --baseline .vodlint-baseline --units-decl units.decl --forbid-stale
+echo "== units.decl stale-declaration check =="
+# Every `Module.name` declared in units.decl must still exist as a
+# `val name` in the module's .mli somewhere under lib/ — otherwise the
+# declaration is dead weight (the value was renamed or removed) and the
+# units analysis silently stops covering it.
+decl_status=0
+for qual in $(grep -vE '^[[:space:]]*(#|$)' units.decl | awk '{print $1}'); do
+  mod=${qual%%.*}
+  name=${qual#*.}
+  file=$(printf '%s' "$mod" | tr 'A-Z' 'a-z').mli
+  mli=$(find lib -name "$file" | head -n 1)
+  if [ -z "$mli" ]; then
+    echo "FAIL: units.decl declares '$qual' but no $file exists under lib/" >&2
+    decl_status=1
+  elif ! grep -qE "^[[:space:]]*val[[:space:]]+$name[[:space:]:]" "$mli"; then
+    echo "FAIL: units.decl declares '$qual' but $mli has no 'val $name'" >&2
+    decl_status=1
+  fi
+done
+[ "$decl_status" -eq 0 ] || exit 1
 echo "== EPF determinism smoke: --jobs 1 vs --jobs 4 =="
 # A small end-to-end solve must produce byte-identical output at any
 # job count (the pool's determinism contract). The "time" line is the
