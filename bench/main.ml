@@ -31,6 +31,7 @@ let available =
     ("table6", "update frequency / estimation accuracy");
     ("ablation", "solver design-choice ablations (pass order, warm start)");
     ("failure", "fault injection: placement vs caching fleets under outages");
+    ("daemon", "online re-placement daemon vs weekly/daily batch updates");
     ("micro", "bechamel kernel micro-benchmarks");
   ]
 
@@ -163,6 +164,7 @@ let () =
     run_if "ablation" (fun () -> Exp_ablation.run ());
     run_if "failure" (fun () ->
         Exp_failure.run ?faults_file:!faults_file ?link_capacity:!link_capacity ());
+    run_if "daemon" (fun () -> Exp_daemon.run ());
     run_if "micro" (fun () -> Micro.run ());
     !ran
   in

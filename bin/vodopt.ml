@@ -3,6 +3,7 @@
      vodopt stats     trace analytics (working set, similarity)
      vodopt solve     solve one placement instance and report quality
      vodopt simulate  replay a month against a distribution scheme
+     vodopt serve     replay through the online re-placement daemon
      vodopt sweep     feasibility sweep: min disk per link capacity
 
    Every command is deterministic given --seed. *)
@@ -352,6 +353,120 @@ let simulate topology topology_file trace_file videos days rpv seed disk link pa
       Printf.printf "placement update: %d videos moved (%.0f GB)\n" transfers gb)
     r.Vod_core.Pipeline.migrations
 
+(* ---- serve ---- *)
+
+let update_hours_t =
+  Arg.(
+    value
+    & opt float 6.0
+    & info [ "update-hours" ] ~docv:"H"
+        ~doc:"Replan cadence of the online daemon in hours.")
+
+let budget_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"GB"
+        ~doc:
+          "Per-replan migration budget in GB; deltas beyond it are deferred to later replans (default: unrestricted).")
+
+let cold_start_t =
+  Arg.(
+    value & flag
+    & info [ "cold-start" ]
+        ~doc:"Solve each replan from scratch instead of warm-starting from the incumbent placement.")
+
+let no_fault_react_t =
+  Arg.(
+    value & flag
+    & info [ "no-fault-react" ]
+        ~doc:"Replan only on the periodic cadence, ignoring fault/repair events.")
+
+let serve topology topology_file trace_file videos days rpv seed disk link passes
+    faults playout_link origin update_hours budget cold_start no_fault_react verbose
+    jobs metrics =
+  setup_logs verbose jobs;
+  with_metrics metrics @@ fun () ->
+  let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
+  let resil =
+    match (faults, playout_link, origin) with
+    | None, None, None -> None
+    | _ ->
+        let schedule =
+          match faults with
+          | None -> Vod_resil.Event.empty
+          | Some spec -> schedule_of_spec sc spec
+        in
+        Some
+          (Vod_resil.Playout.config ~schedule
+             ?link_capacity_mbps:playout_link ?origin ())
+  in
+  let cfg =
+    Vod_core.Pipeline.default_config ~scenario:sc
+      ~disk_gb:(Vod_core.Scenario.uniform_disk sc ~multiple:disk)
+      ~link_capacity_mbps:link
+  in
+  let mip =
+    {
+      Vod_core.Pipeline.default_mip with
+      Vod_core.Pipeline.engine =
+        { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = passes };
+    }
+  in
+  let daemon_cfg =
+    {
+      Vod_serve.Daemon.default_config with
+      Vod_serve.Daemon.update_every_s = update_hours *. 3600.0;
+      Vod_serve.Daemon.migration_budget_gb =
+        (match budget with Some gb -> gb | None -> infinity);
+      Vod_serve.Daemon.warm_start = not cold_start;
+      Vod_serve.Daemon.react_to_faults = not no_fault_react;
+    }
+  in
+  let r =
+    Vod_serve.Daemon.run ~graph:sc.Vod_core.Scenario.graph
+      ~paths:sc.Vod_core.Scenario.paths ~catalog:sc.Vod_core.Scenario.catalog
+      ~trace:sc.Vod_core.Scenario.trace
+      ~problem:(Vod_core.Pipeline.replan_problem cfg mip)
+      ?resil ~bin_s:cfg.Vod_core.Pipeline.bin_s
+      ~record_from:
+        (float_of_int cfg.Vod_core.Pipeline.warmup_days
+        *. Vod_workload.Trace.seconds_per_day)
+      daemon_cfg
+  in
+  let m = r.Vod_serve.Daemon.metrics in
+  Printf.printf "daemon           update every %.1f h, budget %s, %s, %s\n"
+    update_hours
+    (match budget with Some gb -> Printf.sprintf "%.0f GB" gb | None -> "unlimited")
+    (if cold_start then "cold start" else "warm start")
+    (if no_fault_react then "periodic only" else "fault-reactive");
+  Printf.printf "requests         %d\n" m.Vod_sim.Metrics.requests;
+  Printf.printf "served locally   %.1f%%\n" (100.0 *. Vod_sim.Metrics.local_fraction m);
+  Printf.printf "peak link        %.0f Mb/s\n" (Vod_sim.Metrics.max_link_mbps m);
+  Printf.printf "total transfer   %.0f GB x hop\n" m.Vod_sim.Metrics.total_gb_hops;
+  Printf.printf "replans          %d (+1 bootstrap)\n"
+    (List.length r.Vod_serve.Daemon.replans - 1);
+  Printf.printf "deltas           %d applied / %d deferred, %.0f GB moved\n"
+    (Vod_serve.Daemon.total_applied r)
+    (Vod_serve.Daemon.total_deferred r)
+    (Vod_serve.Daemon.total_moved_gb r);
+  if resil <> None then begin
+    let deg = m.Vod_sim.Metrics.deg in
+    Printf.printf "rejections       %d (%.2f%% of requests)\n"
+      deg.Vod_sim.Metrics.rejections
+      (100.0 *. Vod_sim.Metrics.rejection_rate m);
+    Printf.printf "failovers        %d (+%d extra hops)\n"
+      deg.Vod_sim.Metrics.failovers deg.Vod_sim.Metrics.failover_extra_hops
+  end;
+  Printf.printf "replan log       (day: trigger, deltas applied/deferred, GB moved)\n";
+  List.iter
+    (fun (rp : Vod_serve.Daemon.replan) ->
+      Printf.printf "  %6.2f  %-18s %5d / %5d  %8.0f GB\n"
+        (rp.Vod_serve.Daemon.t_s /. 86_400.0)
+        rp.Vod_serve.Daemon.trigger rp.Vod_serve.Daemon.applied
+        rp.Vod_serve.Daemon.deferred rp.Vod_serve.Daemon.moved_gb)
+    r.Vod_serve.Daemon.replans
+
 (* ---- sweep ---- *)
 
 let sweep topology topology_file videos days rpv seed link verbose jobs metrics =
@@ -399,6 +514,17 @@ let simulate_cmd =
       $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ scheme_t $ faults_t
       $ playout_link_t $ origin_t $ verbose_t $ jobs_t $ metrics_t)
 
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the trace through the online re-placement daemon (continuous replans under a migration budget)")
+    Term.(
+      const serve $ topology_t $ topology_file_t $ trace_file_t $ videos_t
+      $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ faults_t
+      $ playout_link_t $ origin_t $ update_hours_t $ budget_t $ cold_start_t
+      $ no_fault_react_t $ verbose_t $ jobs_t $ metrics_t)
+
 let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Feasibility sweep: min disk per link capacity")
     Term.(
@@ -410,4 +536,6 @@ let () =
     Cmd.info "vodopt" ~version:"1.0.0"
       ~doc:"Optimal content placement for a large-scale VoD system (CoNEXT 2010 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; solve_cmd; simulate_cmd; sweep_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ stats_cmd; solve_cmd; simulate_cmd; serve_cmd; sweep_cmd ]))

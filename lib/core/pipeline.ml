@@ -54,8 +54,11 @@ let default_config ~scenario ~disk_gb ~link_capacity_mbps =
 type result = {
   scheme_name : string;
   metrics : Vod_sim.Metrics.t;
-  solves : Vod_placement.Solve.report list;   (* newest first *)
-  migrations : (int * float) list;            (* per update: transfers, GB *)
+  solves : Vod_placement.Solve.report list;
+      (* in update order, bootstrap first *)
+  migrations : (int * float) list;
+      (* (transfers, GB) per update, in update order; one entry per
+         element of [solves] after the bootstrap *)
   resil_windows : Vod_resil.Playout.window list;  (* [] without faults *)
 }
 
@@ -83,29 +86,13 @@ let fresh_metrics cfg =
     ~record_from:(float_of_int cfg.warmup_days *. Vod_workload.Trace.seconds_per_day)
     ()
 
-(* Playout engine selection: the legacy engine, or the resilience engine
-   when the config carries a fault/capacity setup. Returns the per-batch
-   play function and a finisher producing the event windows. *)
-let make_player cfg metrics =
+(* Both playout paths are configurations of the unified serving loop
+   (lib/serve): direct fixed-path serving, or — when the config carries
+   a fault/capacity setup — the failover-routing configuration. *)
+let make_engine cfg ~fleet =
   let sc = cfg.scenario in
-  match cfg.resil with
-  | None ->
-      let play fleet batch =
-        Vod_sim.Sim.play metrics sc.Scenario.paths sc.Scenario.catalog fleet batch
-      in
-      (play, fun () -> [])
-  | Some rcfg ->
-      let p =
-        Vod_resil.Playout.create ~graph:sc.Scenario.graph ~paths:sc.Scenario.paths
-          rcfg
-      in
-      let play fleet batch =
-        Vod_resil.Playout.play p metrics sc.Scenario.catalog fleet batch
-      in
-      ( play,
-        fun () ->
-          Vod_resil.Playout.finish p metrics;
-          Vod_resil.Playout.windows p )
+  Vod_serve.Loop.create ~graph:sc.Scenario.graph ~paths:sc.Scenario.paths
+    ~catalog:sc.Scenario.catalog ~fleet ?resil:cfg.resil ()
 
 (* Demand ranking from the first week (what a provider would know before
    the measured period), used by Top-K. *)
@@ -114,57 +101,76 @@ let first_week_ranking cfg =
   let demand = Scenario.demand_of_week sc ~day0:0 ~n_windows:cfg.n_windows ~window_s:cfg.window_s () in
   Vod_workload.Demand.rank_by_demand demand
 
+(* The static re-placement problem the weekly solves share with the
+   online daemon (Vod_serve.Daemon): going through the same
+   [Vod_serve.Replan] entry points is what makes a day-aligned daemon
+   replan bit-identical to the batch pipeline's. *)
+let replan_problem cfg (m : mip_config) =
+  let sc = cfg.scenario in
+  {
+    Vod_serve.Replan.graph = sc.Scenario.graph;
+    catalog = sc.Scenario.catalog;
+    disk_gb = cfg.disk_gb;
+    link_capacity_mbps = cfg.link_capacity_mbps;
+    cache_frac = m.cache_frac;
+    n_windows = cfg.n_windows;
+    window_s = cfg.window_s;
+    engine = m.engine;
+  }
+
 (* Solve a placement for the week starting at [day0] from a (predicted or
    actual) request batch. *)
 let solve_week cfg (m : mip_config) requests ~day0 =
-  let sc = cfg.scenario in
-  let demand =
-    Vod_workload.Demand.of_requests sc.Scenario.catalog
-      ~n_vhos:(Vod_topology.Graph.n_nodes sc.Scenario.graph)
-      ~day0 ~days:7 ~n_windows:cfg.n_windows ~window_s:cfg.window_s requests
-  in
-  let pinned_disk =
-    Array.map (fun d -> d *. (1.0 -. m.cache_frac)) cfg.disk_gb
-  in
-  let inst =
-    Vod_placement.Instance.create ~graph:sc.Scenario.graph
-      ~catalog:sc.Scenario.catalog ~demand ~disk_gb:pinned_disk
-      ~link_capacity_mbps:
-        (Vod_placement.Instance.uniform_links sc.Scenario.graph cfg.link_capacity_mbps)
-      ()
-  in
-  Vod_placement.Solve.solve ~params:m.engine inst
+  let pb = replan_problem cfg m in
+  Vod_serve.Replan.solve pb
+    (Vod_serve.Replan.demand pb
+       ~t0_s:(float_of_int day0 *. Vod_workload.Trace.seconds_per_day)
+       requests)
+
+(* MIP update days: the bootstrap placement (computed at day 0 from the
+   actual first week) serves days [0, 7); updates then run every
+   [update_days] from day 7 while strictly inside the trace. The
+   resulting segments [0; u1), [u1; u2), ..., [u_k; days) tile the trace
+   exactly — when [update_days] does not divide [days - 7] the final
+   segment is simply shorter, never dropped or double-played (pinned by
+   test/test_core.ml's 30-day / update_days=7 regression). *)
+let update_schedule ~days ~update_days =
+  if update_days <= 0 then
+    invalid_arg "Pipeline.update_schedule: update_days must be positive";
+  let updates = ref [] in
+  let d = ref 7 in
+  while !d < days do
+    updates := !d :: !updates;
+    d := !d + update_days
+  done;
+  List.rev !updates
 
 let run_mip cfg (m : mip_config) =
   let sc = cfg.scenario in
   let trace = sc.Scenario.trace in
   let metrics = fresh_metrics cfg in
   let cache_gb = Array.map (fun d -> d *. m.cache_frac) cfg.disk_gb in
-  (* Update schedule: bootstrap placement at day 0 (computed from the
-     actual first week — the paper's initial pre-population, done before
-     the service opens), then periodic updates from day 7 on, driven by
-     the estimator. *)
-  let updates = ref [] in
-  let d = ref 7 in
-  while !d < trace.Vod_workload.Trace.days do
-    updates := !d :: !updates;
-    d := !d + m.update_days
-  done;
-  let updates = List.rev !updates in
+  (* Bootstrap placement at day 0 (computed from the actual first week —
+     the paper's initial pre-population, done before the service opens),
+     then periodic updates per [update_schedule], driven by the
+     estimator. *)
+  let updates =
+    update_schedule ~days:trace.Vod_workload.Trace.days
+      ~update_days:m.update_days
+  in
   let boot_requests = Vod_workload.Trace.between_days trace ~day_lo:0 ~day_hi:7 in
   let boot = solve_week cfg m boot_requests ~day0:0 in
-  let solves = ref [ boot ] in
-  let migrations = ref [] in
+  let solves_rev = ref [ boot ] in
+  let migrations_rev = ref [] in
   let current = ref boot.Vod_placement.Solve.solution in
   let fleet_of sol =
     Vod_cache.Fleet.mip ~solution:sol ~paths:sc.Scenario.paths
       ~catalog:sc.Scenario.catalog ~cache_gb
   in
-  let fleet = ref (fleet_of !current) in
-  let play_batch, finish_play = make_player cfg metrics in
+  let engine = make_engine cfg ~fleet:(fleet_of !current) in
   let play ~day_lo ~day_hi =
     let batch = Vod_workload.Trace.between_days trace ~day_lo ~day_hi in
-    play_batch !fleet batch
+    Vod_serve.Loop.play engine metrics batch
   in
   let segment_bounds = updates @ [ trace.Vod_workload.Trace.days ] in
   let prev_day = ref 0 in
@@ -177,23 +183,24 @@ let run_mip cfg (m : mip_config) =
             ~week_start:day
         in
         let report = solve_week cfg m predicted ~day0:day in
-        solves := report :: !solves;
-        migrations :=
+        solves_rev := report :: !solves_rev;
+        migrations_rev :=
           Vod_placement.Solution.migration ~old_sol:!current
             ~new_sol:report.Vod_placement.Solve.solution sc.Scenario.catalog
-          :: !migrations;
+          :: !migrations_rev;
         current := report.Vod_placement.Solve.solution;
-        fleet := fleet_of !current
+        Vod_serve.Loop.set_fleet engine (fleet_of !current)
       end;
       prev_day := day)
     segment_bounds;
-  let resil_windows = finish_play () in
+  Vod_serve.Loop.finish engine metrics;
   {
     scheme_name = scheme_name cfg (Mip m);
     metrics;
-    solves = !solves;
-    migrations = List.rev !migrations;
-    resil_windows;
+    (* Both lists read oldest-first, in update order. *)
+    solves = List.rev !solves_rev;
+    migrations = List.rev !migrations_rev;
+    resil_windows = Vod_serve.Loop.windows engine;
   }
 
 let run_cache_scheme cfg scheme =
@@ -215,15 +222,15 @@ let run_cache_scheme cfg scheme =
           ~disk_gb:cfg.disk_gb
     | Mip _ -> invalid_arg "run_cache_scheme: use run_mip"
   in
-  let play_batch, finish_play = make_player cfg metrics in
-  play_batch fleet sc.Scenario.trace.Vod_workload.Trace.requests;
-  let resil_windows = finish_play () in
+  let engine = make_engine cfg ~fleet in
+  Vod_serve.Loop.play engine metrics sc.Scenario.trace.Vod_workload.Trace.requests;
+  Vod_serve.Loop.finish engine metrics;
   {
     scheme_name = scheme_name cfg scheme;
     metrics;
     solves = [];
     migrations = [];
-    resil_windows;
+    resil_windows = Vod_serve.Loop.windows engine;
   }
 
 let run cfg = function
@@ -231,8 +238,10 @@ let run cfg = function
   | (Random_cache _ | Topk_lru _ | Origin_lru _) as scheme ->
       run_cache_scheme cfg scheme
 
-(* Latest placement of a result, if any (for Figs. 7/8 analyses). *)
+(* Latest placement of a result, if any (for Figs. 7/8 analyses);
+   [solves] reads oldest-first, so the placement in force at the end of
+   the run is the last element. *)
 let last_solution result =
-  match result.solves with
+  match List.rev result.solves with
   | [] -> None
   | report :: _ -> Some report.Vod_placement.Solve.solution

@@ -42,8 +42,11 @@ val default_config :
 type result = {
   scheme_name : string;
   metrics : Vod_sim.Metrics.t;
-  solves : Vod_placement.Solve.report list;  (** newest first; MIP only *)
-  migrations : (int * float) list;           (** per update: transfers, GB *)
+  solves : Vod_placement.Solve.report list;
+      (** in update order, bootstrap first; MIP only *)
+  migrations : (int * float) list;
+      (** (transfers, GB) per update, in update order — one entry per
+          element of [solves] after the bootstrap *)
   resil_windows : Vod_resil.Playout.window list;
       (** per-event serving windows; [[]] without a resil config *)
 }
@@ -58,5 +61,20 @@ val scheme_name : config -> scheme -> string
     benches). *)
 val first_week_ranking : config -> int array
 
-(** The most recent placement of a result, if the scheme was MIP. *)
+(** MIP update days: the bootstrap serves days [0, 7); updates then run
+    every [update_days] from day 7 while strictly inside the trace. The
+    implied segments tile the trace exactly — a final partial window
+    (when [update_days] does not divide [days - 7]) is shorter, never
+    dropped or double-played. Raises [Invalid_argument] on a
+    non-positive [update_days]. *)
+val update_schedule : days:int -> update_days:int -> int list
+
+(** The re-placement problem the weekly MIP solves are built from —
+    shared verbatim with the online daemon ([Vod_serve.Daemon]), which
+    is what makes a day-aligned unbudgeted daemon bit-identical to this
+    batch pipeline. *)
+val replan_problem : config -> mip_config -> Vod_serve.Replan.problem
+
+(** The most recent placement of a result (the last element of
+    [solves]), if the scheme was MIP. *)
 val last_solution : result -> Vod_placement.Solution.t option

@@ -381,7 +381,7 @@ let update_smoothed st =
   done;
   st.smoothed_obj <- (rho *. st.smoothed_obj) +. ((1.0 -. rho) *. st.price_obj)
 
-let init (p : params) ~pool ~capacities ~oracles =
+let init ?initial (p : params) ~pool ~capacities ~oracles =
   Array.iter
     (fun b -> if b <= 0.0 then invalid_arg "Engine: capacities must be positive")
     capacities;
@@ -390,11 +390,21 @@ let init (p : params) ~pool ~capacities ~oracles =
   let zero_prices = Array.make m 0.0 in
   (* Initial points are independent per block (each is a UFL solve under
      the same warm-start prices), so construct them in parallel; the
-     result array is in block order by the pool contract. *)
+     result array is in block order by the pool contract. A caller that
+     already holds a good point per block (an incumbent placement being
+     re-solved by the daemon) passes [initial] and skips the oracle
+     sweep entirely — the engine then starts its descent from the
+     incumbent instead of the single-facility points. *)
   let combos =
-    Vod_util.Pool.map pool
-      ~f:(fun (oracle : _ oracle) -> [ (oracle.initial (), 1.0) ])
-      oracles
+    match initial with
+    | Some (points : _ point array) ->
+        if Array.length points <> Array.length oracles then
+          invalid_arg "Engine: initial points/oracles length mismatch";
+        Array.map (fun pt -> [ (pt, 1.0) ]) points
+    | None ->
+        Vod_util.Pool.map pool
+          ~f:(fun (oracle : _ oracle) -> [ (oracle.initial (), 1.0) ])
+          oracles
   in
   let st =
     {
@@ -624,11 +634,13 @@ let outcome_of_state st ~passes ~pre_round_objective ~pre_round_violation ~histo
     history;
   }
 
-let solve ?(round = true) (p : params) ~capacities ~oracles =
+let solve ?(round = true) ?initial (p : params) ~capacities ~oracles =
   (* One pool for the whole solve; workers park between parallel
      phases, so the sequential Gauss-Seidel passes pay nothing for it. *)
   Vod_util.Pool.with_pool ~jobs:p.jobs (fun pool ->
-  let st = Obs.phase "init" (fun () -> init p ~pool ~capacities ~oracles) in
+  let st =
+    Obs.phase "init" (fun () -> init ?initial p ~pool ~capacities ~oracles)
+  in
   let passes = ref 0 in
   let stop = ref false in
   (* Plateau detection: once epsilon-feasible, keep squeezing the

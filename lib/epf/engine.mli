@@ -76,14 +76,20 @@ type 'a outcome = {
           trace, for diagnostics and the ablation benches *)
 }
 
-(** [solve ?round p ~capacities ~oracles] runs randomized block-descent
-    passes until epsilon-feasible and epsilon-optimal (or [max_passes]),
-    then — unless [round:false] or [feasibility_only] — snaps every
-    fractional block to a single integral oracle point (paper Sec. V-D).
-    Raises [Invalid_argument] on nonpositive capacities or an empty block
-    list. *)
+(** [solve ?round ?initial p ~capacities ~oracles] runs randomized
+    block-descent passes until epsilon-feasible and epsilon-optimal (or
+    [max_passes]), then — unless [round:false] or [feasibility_only] —
+    snaps every fractional block to a single integral oracle point
+    (paper Sec. V-D). [initial], when given, supplies one starting
+    point per block (same order and length as [oracles]) in place of
+    the per-block [oracle.initial] sweep — the warm-start entry used by
+    the online re-placement daemon to begin the descent from the
+    incumbent placement. Raises [Invalid_argument] on nonpositive
+    capacities, an empty block list, or an [initial] array whose length
+    differs from [oracles]. *)
 val solve :
   ?round:bool ->
+  ?initial:'a point array ->
   params ->
   capacities:float array ->
   oracles:'a oracle array ->

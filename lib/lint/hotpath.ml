@@ -28,6 +28,8 @@ let roots =
     ("Sim.run", "playout", 1, false);
     ("Playout.play", "resil/playout", 2, false);
     ("Playout.run", "resil/playout", 2, false);
+    ("Loop.play", "serve/play", 2, false);
+    ("Loop.run", "serve/play", 2, false);
     ("Capacity.fits", "resil/capacity", 3, true);
     ("Capacity.reserve", "resil/capacity", 3, true);
     ("Capacity.expire", "resil/capacity", 3, true);

@@ -112,3 +112,27 @@ let migration ~old_sol ~new_sol (catalog : Vod_workload.Catalog.t) =
       new_sol.stored.(video)
   done;
   (!transfers, !gb)
+
+(* Rebuild an engine starting point for one block from an existing
+   placement: open exactly the VHOs storing the video in [incumbent] and
+   serve each demand site from [server]'s choice. This is the warm-start
+   bridge — re-solves hand these points to [Vod_epf.Engine.solve
+   ~initial] so the descent starts at the incumbent placement instead of
+   the single-facility points. *)
+let engine_point (inst : Instance.t) (b : Blocks.block) ~incumbent =
+  let n = Instance.n_vhos inst in
+  if incumbent.n_vhos <> n then
+    invalid_arg "Solution.engine_point: VHO count mismatch";
+  if b.Blocks.video >= incumbent.n_videos then
+    invalid_arg "Solution.engine_point: video outside incumbent catalog";
+  let open_set = Array.make n false in
+  Array.iter (fun i -> open_set.(i) <- true) incumbent.stored.(b.Blocks.video);
+  let assign =
+    Array.map
+      (fun (c : Blocks.client) ->
+        server incumbent inst.Instance.paths ~video:b.Blocks.video ~vho:c.Blocks.vho)
+      b.Blocks.clients
+  in
+  (* [point_of_solution] recomputes the true objective itself, so the
+     priced UFL cost of this synthetic solution is never read. *)
+  Blocks.point_of_solution inst b { Vod_facility.Ufl.open_set; assign; cost = 0.0 }

@@ -38,3 +38,13 @@ val gap : t -> float
     (Sec. VII-H placement-update cost). *)
 val migration :
   old_sol:t -> new_sol:t -> Vod_workload.Catalog.t -> int * float
+
+(** [engine_point inst b ~incumbent] rebuilds an EPF starting point for
+    block [b] of [inst] from an existing placement: the video's copies
+    in [incumbent] become the open set, and each demand site is served
+    from {!server}'s choice. Used to warm-start a re-solve from the
+    incumbent (see {!Solve.solve}'s [incumbent]). Raises
+    [Invalid_argument] if [incumbent] covers a different VHO count or a
+    smaller catalog, or stores no copy of the video. *)
+val engine_point :
+  Instance.t -> Blocks.block -> incumbent:t -> Blocks.choice Vod_epf.Engine.point

@@ -17,13 +17,24 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 module Obs = Vod_obs.Obs
 
-let solve ?(params = Vod_epf.Engine.default_params) (inst : Instance.t) =
+let solve ?(params = Vod_epf.Engine.default_params) ?incumbent
+    (inst : Instance.t) =
   Obs.phase "solve" @@ fun () ->
-  let _, oracles = Obs.phase "blocks" (fun () -> Blocks.oracles inst) in
+  let blocks, oracles = Obs.phase "blocks" (fun () -> Blocks.oracles inst) in
   let capacities = Instance.capacities inst in
+  (* Warm start: one engine point per block, rebuilt from the incumbent
+     placement, replaces the single-facility/greedy-dual initial sweep. *)
+  let initial =
+    match incumbent with
+    | None -> None
+    | Some sol ->
+        Some
+          (Obs.phase "warm_points" (fun () ->
+               Array.map (fun b -> Solution.engine_point inst b ~incumbent:sol) blocks))
+  in
   let outcome =
     Obs.phase "engine" (fun () ->
-        Vod_epf.Engine.solve ~round:true params ~capacities ~oracles)
+        Vod_epf.Engine.solve ~round:true ?initial params ~capacities ~oracles)
   in
   let solution =
     Obs.phase "extract" (fun () -> Solution.of_outcome inst outcome)

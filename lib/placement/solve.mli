@@ -16,7 +16,14 @@ type report = {
   passes : int;  (** EPF passes run by the engine's main loop *)
 }
 
-val solve : ?params:Vod_epf.Engine.params -> Instance.t -> report
+val solve :
+  ?params:Vod_epf.Engine.params -> ?incumbent:Solution.t -> Instance.t -> report
 (** Solve an instance with the given engine parameters (defaults:
-    [Vod_epf.Engine.default_params]). Logs a one-line summary at info
-    level on the [vod.solve] source. *)
+    [Vod_epf.Engine.default_params]). [incumbent], when given,
+    warm-starts the EPF engine from that placement
+    ({!Solution.engine_point} per block) instead of the single-facility
+    initial sweep — the entry the online re-placement daemon uses to
+    re-solve from where the fleet already is. The report stays a
+    deterministic function of [(inst, params, incumbent)] at any job
+    count. Logs a one-line summary at info level on the [vod.solve]
+    source. *)

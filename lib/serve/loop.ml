@@ -1,0 +1,446 @@
+(* The unified serving engine: one event loop that drives a fleet with a
+   time-sorted request batch, in either of two configurations.
+
+   - Direct: the legacy fixed-path playout (lib/sim/sim.ml) — every
+     request is served by the fleet's own choice over the precomputed
+     shortest paths, with no fault timeline and no capacity tracking.
+   - Faulted: the resilience playout (lib/resil/playout.ml) — a fault
+     timeline advances between requests, rejected/failover/degradation
+     accounting applies, and remote streams route through the
+     capacity-aware failover router.
+
+   Both configurations produce Vod_sim.Metrics byte-for-byte identical
+   to the legacy engines they replace (asserted by test/test_serve.ml);
+   the legacy modules stay in the tree as the comparison references.
+   The seams are pluggable by construction: the placement source is the
+   mutable [fleet] (swapped mid-run by the batch pipeline and the
+   re-placement daemon via [set_fleet]), and the router/capacity pair
+   arrives bundled in an optional [Vod_resil.Playout.config]. *)
+
+module Obs = Vod_obs.Obs
+module Event = Vod_resil.Event
+module State = Vod_resil.State
+module Capacity = Vod_resil.Capacity
+module Router = Vod_resil.Router
+module Playout = Vod_resil.Playout
+
+let src = Logs.Src.create "vod.serve" ~doc:"unified serving engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Fault-mode machinery plus per-request routing scratch. The scratch
+   fields replace the per-request ref cell and closures the legacy
+   playout allocates: [route] and [on_event] are built once at [create]
+   and read the current request's parameters out of the record, so the
+   request loop itself stays allocation-free (alloc-in-hot). *)
+type faulted = {
+  state : State.t;
+  capacity : Capacity.t;
+  router : Router.t;
+  mutable win_t0 : float;
+  mutable win_trigger : string;
+  mutable win_requests : int;
+  mutable win_rejections : int;
+  mutable win_failovers : int;
+  mutable windows_rev : Playout.window list;
+  mutable cur_video : int;
+  mutable cur_vho : int;
+  mutable cur_rate : float;
+  mutable cur_now : float;
+  mutable cur_until : float;
+  mutable decision : Router.decision;
+  mutable route : default:int -> int option;
+  mutable on_event : Event.t -> unit;
+}
+
+type t = {
+  paths : Vod_topology.Paths.t;
+  catalog : Vod_workload.Catalog.t;
+  mutable fleet : Vod_cache.Fleet.t;
+  faulted : faulted option;
+  mutable finished : bool;
+}
+
+let close_window f ~now ~trigger =
+  f.windows_rev <-
+    {
+      Playout.t0_s = f.win_t0;
+      t1_s = now;
+      trigger = f.win_trigger;
+      requests = f.win_requests;
+      rejections = f.win_rejections;
+      failovers = f.win_failovers;
+    }
+    :: f.windows_rev;
+  Obs.push "serve/window/requests" (float_of_int f.win_requests);
+  Obs.push "serve/window/rejections" (float_of_int f.win_rejections);
+  Obs.push "serve/window/failovers" (float_of_int f.win_failovers);
+  f.win_t0 <- now;
+  f.win_trigger <- trigger;
+  f.win_requests <- 0;
+  f.win_rejections <- 0;
+  f.win_failovers <- 0
+
+let apply_event f (e : Event.t) =
+  Obs.incr "serve/events_applied";
+  (match e.Event.kind with
+  | Event.Link_down _ | Event.Link_up _ -> Router.on_link_event f.router
+  | Event.Vho_down _ | Event.Vho_up _ | Event.Surge_start _ | Event.Surge_end _
+    -> ());
+  close_window f ~now:e.Event.time_s ~trigger:(Event.kind_to_string e.Event.kind)
+
+(* Route the request whose parameters sit in the scratch fields; the
+   decision is parked for the stream-accounting step below. *)
+let route_scratch t f ~default =
+  let d =
+    Router.route f.router
+      ~holders:(Vod_cache.Fleet.holders t.fleet ~video:f.cur_video)
+      ~dst:f.cur_vho ~default ~rate_mbps:f.cur_rate ~until_s:f.cur_until
+      ~now:f.cur_now
+  in
+  f.decision <- d;
+  match d with
+  | Router.Served s -> Some s.Router.server
+  | Router.Rejected _ -> None
+
+let create ~graph ~paths ~catalog ~fleet ?resil () =
+  let faulted =
+    Option.map
+      (fun (cfg : Playout.config) ->
+        let n_links = Vod_topology.Graph.n_links graph in
+        let state =
+          State.create
+            ~n_vhos:(Vod_topology.Graph.n_nodes graph)
+            ~n_links cfg.Playout.schedule
+        in
+        let capacity =
+          Capacity.create
+            ~capacity_mbps:(Array.make n_links cfg.Playout.link_capacity_mbps)
+            ~saturation_frac:cfg.Playout.saturation_frac ()
+        in
+        let router =
+          Router.create ~graph ~paths ~state ~capacity ?origin:cfg.Playout.origin
+            ()
+        in
+        {
+          state;
+          capacity;
+          router;
+          win_t0 = 0.0;
+          win_trigger = "start";
+          win_requests = 0;
+          win_rejections = 0;
+          win_failovers = 0;
+          windows_rev = [];
+          cur_video = 0;
+          cur_vho = 0;
+          cur_rate = 0.0;
+          cur_now = 0.0;
+          cur_until = 0.0;
+          decision = Router.Rejected Router.No_replica;
+          route = (fun ~default:_ -> None);
+          on_event = (fun (_ : Event.t) -> ());
+        })
+      resil
+  in
+  let t = { paths; catalog; fleet; faulted; finished = false } in
+  (match t.faulted with
+  | Some f ->
+      f.route <- (fun ~default -> route_scratch t f ~default);
+      f.on_event <- (fun e -> apply_event f e)
+  | None -> ());
+  t
+
+let fleet t = t.fleet
+
+(* Placement-source seam: the pipeline and the daemon swap placements
+   mid-run by handing the loop a rebuilt fleet between batches. *)
+let set_fleet t fleet =
+  t.fleet <- fleet;
+  Obs.incr "serve/fleet_swaps"
+
+let vho_up t vho =
+  match t.faulted with None -> true | Some f -> State.vho_up f.state vho
+
+(* Advance the fault timeline (and expire stream reservations) to [now]
+   without playing a request — the daemon calls this at replan
+   boundaries so its fault-state reads reflect the boundary instant,
+   not the last played request. No-op in the direct configuration. *)
+let advance t ~now =
+  match t.faulted with
+  | None -> ()
+  | Some f ->
+      ignore (State.advance f.state ~now ~on_event:f.on_event : int);
+      Capacity.expire f.capacity ~now
+
+(* ---- direct configuration -------------------------------------------- *)
+
+(* Field-for-field the body of Vod_sim.Sim.play: same serve call, same
+   counter updates, same float operation order in the stream accounting
+   (the byte-for-byte contract). *)
+let play_direct t metrics (requests : Vod_workload.Trace.request array) =
+  let track_per_vho =
+    Array.length metrics.Vod_sim.Metrics.per_vho_requests > 0
+  in
+  Array.iter
+    (fun (r : Vod_workload.Trace.request) ->
+      let now = r.Vod_workload.Trace.time_s in
+      let video = r.Vod_workload.Trace.video in
+      let vho = r.Vod_workload.Trace.vho in
+      let outcome = Vod_cache.Fleet.serve t.fleet ~video ~vho ~now in
+      let record = Vod_sim.Metrics.in_record_window metrics now in
+      if record then begin
+        metrics.Vod_sim.Metrics.requests <- metrics.Vod_sim.Metrics.requests + 1;
+        if track_per_vho then
+          metrics.Vod_sim.Metrics.per_vho_requests.(vho) <-
+            metrics.Vod_sim.Metrics.per_vho_requests.(vho) + 1;
+        if outcome.Vod_cache.Fleet.local then begin
+          metrics.Vod_sim.Metrics.local_served <-
+            metrics.Vod_sim.Metrics.local_served + 1;
+          if track_per_vho then
+            metrics.Vod_sim.Metrics.per_vho_local.(vho) <-
+              metrics.Vod_sim.Metrics.per_vho_local.(vho) + 1;
+          if outcome.Vod_cache.Fleet.cache_hit then
+            metrics.Vod_sim.Metrics.cache_hits <-
+              metrics.Vod_sim.Metrics.cache_hits + 1
+        end
+        else begin
+          metrics.Vod_sim.Metrics.remote_served <-
+            metrics.Vod_sim.Metrics.remote_served + 1;
+          if outcome.Vod_cache.Fleet.not_cachable then
+            metrics.Vod_sim.Metrics.not_cachable <-
+              metrics.Vod_sim.Metrics.not_cachable + 1
+        end
+      end;
+      if not outcome.Vod_cache.Fleet.local then begin
+        let server = outcome.Vod_cache.Fleet.server in
+        let v = Vod_workload.Catalog.video t.catalog video in
+        let rate = Vod_workload.Video.rate_mbps v in
+        let dur = Vod_workload.Video.duration_s v in
+        let links = Vod_topology.Paths.path_links t.paths ~src:server ~dst:vho in
+        (* Explicit loop: an [Array.iter] lambda here is a fresh closure
+           per remote request, in the hottest loop (alloc-in-hot). *)
+        let t1 = now +. dur in
+        for i = 0 to Array.length links - 1 do
+          Vod_sim.Metrics.add_stream metrics ~link:links.(i) ~rate_mbps:rate
+            ~t0:now ~t1
+        done;
+        if record then begin
+          let hops =
+            float_of_int (Vod_topology.Paths.hops t.paths ~src:server ~dst:vho)
+          in
+          let gb = Vod_workload.Video.size_gb v in
+          metrics.Vod_sim.Metrics.total_gb_hops <-
+            metrics.Vod_sim.Metrics.total_gb_hops +. (gb *. hops);
+          metrics.Vod_sim.Metrics.total_gb_remote <-
+            metrics.Vod_sim.Metrics.total_gb_remote +. gb
+        end
+      end)
+    requests
+
+(* ---- faulted configuration ------------------------------------------- *)
+
+let reject_obs reason =
+  Obs.incr "serve/rejections";
+  Obs.incr ("serve/rejections/" ^ Router.reject_reason_to_string reason)
+
+let account_reject (metrics : Vod_sim.Metrics.t) (reason : Router.reject_reason)
+    =
+  let deg = metrics.Vod_sim.Metrics.deg in
+  deg.Vod_sim.Metrics.rejections <- deg.Vod_sim.Metrics.rejections + 1;
+  (match reason with
+  | Router.Vho_down ->
+      deg.Vod_sim.Metrics.rejected_vho_down <-
+        deg.Vod_sim.Metrics.rejected_vho_down + 1
+  | Router.No_replica ->
+      deg.Vod_sim.Metrics.rejected_no_replica <-
+        deg.Vod_sim.Metrics.rejected_no_replica + 1
+  | Router.Unreachable ->
+      deg.Vod_sim.Metrics.rejected_unreachable <-
+        deg.Vod_sim.Metrics.rejected_unreachable + 1
+  | Router.No_capacity ->
+      deg.Vod_sim.Metrics.rejected_no_capacity <-
+        deg.Vod_sim.Metrics.rejected_no_capacity + 1);
+  reject_obs reason
+
+(* Hoisted out of the request loop (alloc-in-hot): a local definition
+   per request would allocate a closure per request. *)
+let count_request metrics ~track_per_vho ~vho =
+  metrics.Vod_sim.Metrics.requests <- metrics.Vod_sim.Metrics.requests + 1;
+  if track_per_vho then
+    metrics.Vod_sim.Metrics.per_vho_requests.(vho) <-
+      metrics.Vod_sim.Metrics.per_vho_requests.(vho) + 1
+
+(* Field-for-field the body of Vod_resil.Playout.play, with the
+   per-request ref/closure pair replaced by the scratch fields. *)
+let play_faulted t f metrics (requests : Vod_workload.Trace.request array) =
+  let track_per_vho =
+    Array.length metrics.Vod_sim.Metrics.per_vho_requests > 0
+  in
+  let deg = metrics.Vod_sim.Metrics.deg in
+  Array.iter
+    (fun (r : Vod_workload.Trace.request) ->
+      let now = r.Vod_workload.Trace.time_s in
+      let video = r.Vod_workload.Trace.video in
+      let vho = r.Vod_workload.Trace.vho in
+      ignore (State.advance f.state ~now ~on_event:f.on_event : int);
+      Capacity.expire f.capacity ~now;
+      let record = Vod_sim.Metrics.in_record_window metrics now in
+      if record then f.win_requests <- f.win_requests + 1;
+      if not (State.vho_up f.state vho) then begin
+        (* The requesting VHO is dark: nobody there to serve. *)
+        if record then begin
+          count_request metrics ~track_per_vho ~vho;
+          account_reject metrics Router.Vho_down;
+          f.win_rejections <- f.win_rejections + 1
+        end
+      end
+      else begin
+        let v = Vod_workload.Catalog.video t.catalog video in
+        let surge = State.surge f.state vho in
+        let rate = Vod_workload.Video.rate_mbps v *. surge in
+        let dur = Vod_workload.Video.duration_s v in
+        f.cur_video <- video;
+        f.cur_vho <- vho;
+        f.cur_rate <- rate;
+        f.cur_now <- now;
+        f.cur_until <- now +. dur;
+        f.decision <- Router.Rejected Router.No_replica;
+        match
+          Vod_cache.Fleet.serve_routed t.fleet ~video ~vho ~now ~route:f.route
+        with
+        | Some outcome ->
+            if record then begin
+              count_request metrics ~track_per_vho ~vho;
+              if outcome.Vod_cache.Fleet.local then begin
+                metrics.Vod_sim.Metrics.local_served <-
+                  metrics.Vod_sim.Metrics.local_served + 1;
+                if track_per_vho then
+                  metrics.Vod_sim.Metrics.per_vho_local.(vho) <-
+                    metrics.Vod_sim.Metrics.per_vho_local.(vho) + 1;
+                if outcome.Vod_cache.Fleet.cache_hit then
+                  metrics.Vod_sim.Metrics.cache_hits <-
+                    metrics.Vod_sim.Metrics.cache_hits + 1
+              end
+              else begin
+                metrics.Vod_sim.Metrics.remote_served <-
+                  metrics.Vod_sim.Metrics.remote_served + 1;
+                if outcome.Vod_cache.Fleet.not_cachable then
+                  metrics.Vod_sim.Metrics.not_cachable <-
+                    metrics.Vod_sim.Metrics.not_cachable + 1
+              end
+            end;
+            if not outcome.Vod_cache.Fleet.local then begin
+              match f.decision with
+              | Router.Served s ->
+                  (* Explicit loop: an [Array.iter] lambda here is a
+                     fresh closure per served remote request
+                     (alloc-in-hot). *)
+                  let t1 = now +. dur in
+                  let links = s.Router.links in
+                  for i = 0 to Array.length links - 1 do
+                    Vod_sim.Metrics.add_stream metrics ~link:links.(i)
+                      ~rate_mbps:rate ~t0:now ~t1
+                  done;
+                  if record then begin
+                    let hops = float_of_int s.Router.hops in
+                    let gb = Vod_workload.Video.size_gb v *. surge in
+                    metrics.Vod_sim.Metrics.total_gb_hops <-
+                      metrics.Vod_sim.Metrics.total_gb_hops +. (gb *. hops);
+                    metrics.Vod_sim.Metrics.total_gb_remote <-
+                      metrics.Vod_sim.Metrics.total_gb_remote +. gb;
+                    if surge > 1.0 then Obs.incr "serve/surged_streams";
+                    if s.Router.failover then begin
+                      deg.Vod_sim.Metrics.failovers <-
+                        deg.Vod_sim.Metrics.failovers + 1;
+                      deg.Vod_sim.Metrics.failover_extra_hops <-
+                        deg.Vod_sim.Metrics.failover_extra_hops
+                        + s.Router.extra_hops;
+                      f.win_failovers <- f.win_failovers + 1;
+                      Obs.incr "serve/failovers";
+                      if s.Router.extra_hops > 0 then
+                        Obs.incr ~by:s.Router.extra_hops
+                          "serve/failover_extra_hops"
+                    end;
+                    if s.Router.via_origin then begin
+                      deg.Vod_sim.Metrics.origin_served <-
+                        deg.Vod_sim.Metrics.origin_served + 1;
+                      Obs.incr "serve/origin_served"
+                    end
+                  end
+              | Router.Rejected _ ->
+                  (* serve_routed returned an outcome, so route said yes *)
+                  invalid_arg "Loop.play: served without a routing decision"
+            end
+        | None ->
+            if record then begin
+              count_request metrics ~track_per_vho ~vho;
+              (match f.decision with
+              | Router.Rejected reason -> account_reject metrics reason
+              | Router.Served _ ->
+                  invalid_arg "Loop.play: rejected with a serving decision");
+              f.win_rejections <- f.win_rejections + 1
+            end
+      end)
+    requests
+
+(* ---- common entry points --------------------------------------------- *)
+
+let play t metrics (requests : Vod_workload.Trace.request array) =
+  Vod_sim.Metrics.validate_vhos metrics requests;
+  if Obs.active () then
+    Obs.incr ~by:(Array.length requests) "serve/requests";
+  match t.faulted with
+  | None -> play_direct t metrics requests
+  | Some f -> play_faulted t f metrics requests
+
+(* Drain the remaining schedule, close saturation intervals and the last
+   window, and publish the end-of-run gauges. Idempotent; a no-op in the
+   direct configuration, which has no timeline to drain. *)
+let finish t (metrics : Vod_sim.Metrics.t) =
+  if not t.finished then begin
+    t.finished <- true;
+    match t.faulted with
+    | None -> ()
+    | Some f ->
+        let horizon =
+          float_of_int metrics.Vod_sim.Metrics.n_bins
+          *. metrics.Vod_sim.Metrics.bin_s
+        in
+        ignore (State.advance f.state ~now:horizon ~on_event:f.on_event : int);
+        Capacity.expire f.capacity ~now:horizon;
+        Capacity.finish f.capacity ~now:horizon;
+        metrics.Vod_sim.Metrics.deg.Vod_sim.Metrics.link_saturated_s <-
+          Capacity.saturated_seconds f.capacity;
+        Obs.set_gauge "serve/link_saturated_seconds"
+          (Capacity.saturated_seconds f.capacity);
+        close_window f ~now:horizon ~trigger:"end"
+  end
+
+let windows t =
+  match t.faulted with None -> [] | Some f -> List.rev f.windows_rev
+
+(* One-shot playout of a full trace; mirrors Vod_sim.Sim.run's metrics
+   creation so the fault-free configurations coincide. *)
+let run ~graph ~paths ~catalog ~fleet ~trace ?(bin_s = 300.0)
+    ?(record_from = 0.0) ?resil () =
+  let horizon_s =
+    float_of_int trace.Vod_workload.Trace.days
+    *. Vod_workload.Trace.seconds_per_day
+  in
+  let metrics =
+    Vod_sim.Metrics.create
+      ~n_links:(Vod_topology.Graph.n_links graph)
+      ~n_vhos:(Vod_topology.Graph.n_nodes graph)
+      ~horizon_s ~bin_s ~record_from ()
+  in
+  let t = create ~graph ~paths ~catalog ~fleet ?resil () in
+  play t metrics trace.Vod_workload.Trace.requests;
+  finish t metrics;
+  Log.info (fun m ->
+      m "%s: %d requests, local %.1f%%, %d rejections, peak link %.0f Mb/s"
+        (Vod_cache.Fleet.name fleet) metrics.Vod_sim.Metrics.requests
+        (100.0 *. Vod_sim.Metrics.local_fraction metrics)
+        metrics.Vod_sim.Metrics.deg.Vod_sim.Metrics.rejections
+        (Vod_sim.Metrics.max_link_mbps metrics));
+  (metrics, windows t)

@@ -1,0 +1,73 @@
+(** The unified serving engine: one event loop behind both the legacy
+    fixed-path playout ([Vod_sim.Sim]) and the fault-injecting
+    resilience playout ([Vod_resil.Playout]), each now a configuration
+    of the same loop. The placement source is the mutable fleet
+    ({!set_fleet} swaps placements mid-run); the router and capacity
+    model plug in through an optional [Vod_resil.Playout.config]. Both
+    configurations reproduce the legacy engines' metrics byte-for-byte
+    (asserted by test/test_serve.ml); telemetry goes to the [serve/*]
+    keys (METRICS.md). *)
+
+type t
+
+(** [create ~graph ~paths ~catalog ~fleet ?resil ()] builds a loop over
+    the fixed routing. Without [resil] the loop runs the direct (legacy)
+    configuration; with it, the fault timeline, capacity tracker and
+    failover router are instantiated exactly as [Vod_resil.Playout.create]
+    does. Raises [Invalid_argument] if the schedule references ids
+    outside the topology. *)
+val create :
+  graph:Vod_topology.Graph.t ->
+  paths:Vod_topology.Paths.t ->
+  catalog:Vod_workload.Catalog.t ->
+  fleet:Vod_cache.Fleet.t ->
+  ?resil:Vod_resil.Playout.config ->
+  unit ->
+  t
+
+(** The fleet currently being driven. *)
+val fleet : t -> Vod_cache.Fleet.t
+
+(** Swap the placement the loop serves from — the placement-source seam
+    used by the batch pipeline at update boundaries and by the
+    re-placement daemon after each incremental delta. *)
+val set_fleet : t -> Vod_cache.Fleet.t -> unit
+
+(** Whether a VHO is currently up ([true] always in the direct
+    configuration) — the fault-state read the daemon's replanner uses
+    to steer demand away from dark VHOs. *)
+val vho_up : t -> int -> bool
+
+(** Advance the fault timeline (and expire stream reservations) to
+    [now] without playing a request, applying any pending events — the
+    daemon's replan boundaries use this so {!vho_up} reflects the
+    boundary instant. No-op in the direct configuration. *)
+val advance : t -> now:float -> unit
+
+(** Play one time-sorted request batch, accumulating into the metrics.
+    Raises [Invalid_argument] on VHO ids outside the metrics arrays. *)
+val play :
+  t -> Vod_sim.Metrics.t -> Vod_workload.Trace.request array -> unit
+
+(** Drain the remaining fault schedule up to the metrics horizon, close
+    saturation intervals and the final window, publish end-of-run
+    gauges. Idempotent; a no-op in the direct configuration. *)
+val finish : t -> Vod_sim.Metrics.t -> unit
+
+(** Event windows closed so far, oldest first (complete after
+    {!finish}); [[]] in the direct configuration. *)
+val windows : t -> Vod_resil.Playout.window list
+
+(** One-shot playout of a full trace (metrics creation mirrors
+    [Vod_sim.Sim.run]). *)
+val run :
+  graph:Vod_topology.Graph.t ->
+  paths:Vod_topology.Paths.t ->
+  catalog:Vod_workload.Catalog.t ->
+  fleet:Vod_cache.Fleet.t ->
+  trace:Vod_workload.Trace.t ->
+  ?bin_s:float ->
+  ?record_from:float ->
+  ?resil:Vod_resil.Playout.config ->
+  unit ->
+  Vod_sim.Metrics.t * Vod_resil.Playout.window list

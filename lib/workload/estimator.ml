@@ -17,7 +17,9 @@
 
 type strategy = History_only | Series_blockbuster | Perfect
 
-let shift_week (r : Trace.request) = { r with Trace.time_s = r.Trace.time_s +. (7.0 *. Trace.seconds_per_day) }
+let week_s = 7.0 *. Trace.seconds_per_day
+
+let shift_by s (r : Trace.request) = { r with Trace.time_s = r.Trace.time_s +. s }
 
 let history_week (full : Trace.t) ~week_start =
   Trace.between_days full ~day_lo:(week_start - 7) ~day_hi:week_start
@@ -48,27 +50,37 @@ let top_movie (catalog : Catalog.t) (history : Trace.request array) =
   |> Option.map fst
 
 (* Requests for one video in a batch, re-targeted to [new_video] and
-   shifted one week forward. *)
-let clone_requests (history : Trace.request array) ~src_video ~new_video =
+   shifted [shift_s] forward. *)
+let clone_requests (history : Trace.request array) ~shift_s ~src_video ~new_video =
   Array.to_list history
   |> List.filter_map (fun r ->
          if r.Trace.video = src_video then
-           Some (shift_week { r with Trace.video = new_video })
+           Some (shift_by shift_s { r with Trace.video = new_video })
          else None)
 
-let predict strategy (catalog : Catalog.t) (full : Trace.t) ~week_start =
+(* Float-time generalization of [predict]: the history window is the
+   [history_s] seconds before [t0_s], shifted forward onto the upcoming
+   period; the release window stays one week from [t0_s] (the paper's
+   placement period). At day-aligned [t0_s] with the default week of
+   history this reproduces [predict ~week_start] bit-for-bit (day
+   bounds, the week shift and the release test are all exact in float
+   arithmetic), which is what lets the re-placement daemon share one
+   prediction path with the batch pipeline. *)
+let predict_at ?(history_s = week_s) strategy (catalog : Catalog.t)
+    (full : Trace.t) ~t0_s =
+  let history () = Trace.between full ~t0_s:(t0_s -. history_s) ~t1_s:t0_s in
   match strategy with
-  | Perfect -> Trace.between_days full ~day_lo:week_start ~day_hi:(week_start + 7)
-  | History_only ->
-      Array.map shift_week (history_week full ~week_start)
+  | Perfect -> Trace.between full ~t0_s ~t1_s:(t0_s +. week_s)
+  | History_only -> Array.map (shift_by history_s) (history ())
   | Series_blockbuster ->
-      let history = history_week full ~week_start in
-      let base = Array.to_list (Array.map shift_week history) in
+      let history = history () in
+      let base = Array.to_list (Array.map (shift_by history_s) history) in
       let extra = ref [] in
       Array.iter
         (fun v ->
+          let release_s = float_of_int v.Video.release_day *. Trace.seconds_per_day in
           let releases_this_week =
-            v.Video.release_day >= week_start && v.Video.release_day < week_start + 7
+            release_s >= t0_s && release_s < t0_s +. week_s
           in
           if releases_this_week then
             match v.Video.kind with
@@ -76,20 +88,25 @@ let predict strategy (catalog : Catalog.t) (full : Trace.t) ~week_start =
                 match Catalog.previous_episode catalog v with
                 | Some prev ->
                     extra :=
-                      clone_requests history ~src_video:prev.Video.id
-                        ~new_video:v.Video.id
+                      clone_requests history ~shift_s:history_s
+                        ~src_video:prev.Video.id ~new_video:v.Video.id
                       @ !extra
                 | None -> ())
             | Video.Blockbuster -> (
                 match top_movie catalog history with
                 | Some donor ->
                     extra :=
-                      clone_requests history ~src_video:donor ~new_video:v.Video.id
+                      clone_requests history ~shift_s:history_s ~src_video:donor
+                        ~new_video:v.Video.id
                       @ !extra
                 | None -> ())
             | Video.Regular | Video.Music_video -> ())
         catalog.Catalog.videos;
       Array.of_list (base @ !extra)
+
+let predict strategy (catalog : Catalog.t) (full : Trace.t) ~week_start =
+  predict_at strategy catalog full
+    ~t0_s:(float_of_int week_start *. Trace.seconds_per_day)
 
 let name = function
   | History_only -> "no-estimate"

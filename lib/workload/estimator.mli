@@ -13,6 +13,22 @@ type strategy =
 val predict :
   strategy -> Catalog.t -> Trace.t -> week_start:int -> Trace.request array
 
+(** [predict_at ?history_s strategy catalog full ~t0_s] is {!predict}
+    generalized to a float period start: the history window is the
+    [history_s] seconds (default one week) before [t0_s], shifted
+    forward onto the upcoming period; releases inside one week of
+    [t0_s] receive their inherited/donor clones. At day-aligned [t0_s]
+    with the default history this equals [predict ~week_start]
+    bit-for-bit — the contract the re-placement daemon's equivalence
+    tests pin down. *)
+val predict_at :
+  ?history_s:float ->
+  strategy ->
+  Catalog.t ->
+  Trace.t ->
+  t0_s:float ->
+  Trace.request array
+
 (** Requests of the week before [week_start] (the estimation history). *)
 val history_week : Trace.t -> week_start:int -> Trace.request array
 

@@ -30,11 +30,9 @@ let create ~n_vhos ~days requests =
 
 let length t = Array.length t.requests
 
-(* Requests with day in [day_lo, day_hi) — a contiguous slice because the
+(* Requests with time in [t0_s, t1_s) — a contiguous slice because the
    trace is time-sorted. *)
-let between_days t ~day_lo ~day_hi =
-  let lo_t = float_of_int day_lo *. seconds_per_day in
-  let hi_t = float_of_int day_hi *. seconds_per_day in
+let between t ~t0_s ~t1_s =
   let n = Array.length t.requests in
   (* Binary search for the first index with time >= bound. *)
   let lower bound =
@@ -46,8 +44,13 @@ let between_days t ~day_lo ~day_hi =
     in
     go 0 n
   in
-  let i0 = lower lo_t and i1 = lower hi_t in
+  let i0 = lower t0_s and i1 = lower t1_s in
   Array.sub t.requests i0 (i1 - i0)
+
+let between_days t ~day_lo ~day_hi =
+  between t
+    ~t0_s:(float_of_int day_lo *. seconds_per_day)
+    ~t1_s:(float_of_int day_hi *. seconds_per_day)
 
 let iter f t = Array.iter f t.requests
 

@@ -25,6 +25,11 @@ val create : n_vhos:int -> days:int -> request array -> t
 (** Number of requests. *)
 val length : t -> int
 
+(** Requests whose time lies in [t0_s, t1_s) (seconds from trace start) —
+    the float-bounded primitive behind {!between_days}, used by the
+    online re-placement daemon's sliding windows. *)
+val between : t -> t0_s:float -> t1_s:float -> request array
+
 (** Requests whose day lies in [day_lo, day_hi). *)
 val between_days : t -> day_lo:int -> day_hi:int -> request array
 

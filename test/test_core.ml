@@ -95,6 +95,56 @@ let estimation_ordering () =
     (Printf.sprintf "perfect (%.0f) <= none (%.0f) * 1.1" perfect none)
     true (perfect <= none *. 1.1)
 
+let update_schedule_tiling () =
+  (* The documented tiling guarantee: updates run every [update_days]
+     from day 7 while strictly inside the trace; the last segment may be
+     shorter but is never dropped. *)
+  Alcotest.(check (list int)) "30d weekly" [ 7; 14; 21; 28 ]
+    (P.update_schedule ~days:30 ~update_days:7);
+  Alcotest.(check (list int)) "21d biweekly" [ 7 ]
+    (P.update_schedule ~days:21 ~update_days:14);
+  Alcotest.(check (list int)) "28d weekly ends exactly" [ 7; 14; 21 ]
+    (P.update_schedule ~days:28 ~update_days:7);
+  Alcotest.(check (list int)) "short trace has no updates" []
+    (P.update_schedule ~days:7 ~update_days:1);
+  Alcotest.check_raises "non-positive period"
+    (Invalid_argument "Pipeline.update_schedule: update_days must be positive")
+    (fun () -> ignore (P.update_schedule ~days:30 ~update_days:0))
+
+(* 30-day trace with weekly updates: update_days does not divide the
+   post-bootstrap span (23 days), so the final segment is a 2-day stub.
+   Every request must still play exactly once, with a solve per
+   boundary. *)
+let pipeline_30d_weekly_regression () =
+  let graph =
+    Vod_topology.Graph.create ~name:"ring4" ~n:4
+      ~edges:[ (0, 1); (1, 2); (2, 3); (3, 0) ]
+      ~populations:[| 2.0; 1.0; 1.0; 1.0 |]
+  in
+  let sc =
+    Sc.make ~days:30 ~requests_per_video_per_day:4.0 ~seed:17 ~graph
+      ~n_videos:30 ()
+  in
+  let cfg =
+    {
+      (P.default_config ~scenario:sc ~disk_gb:(Sc.uniform_disk sc ~multiple:2.5)
+         ~link_capacity_mbps:500.0)
+      with
+      P.warmup_days = 0;
+    }
+  in
+  let r =
+    P.run cfg (P.Mip { fast_mip with P.engine = { fast_mip.P.engine with Vod_epf.Engine.max_passes = 8 } })
+  in
+  (* Bootstrap + updates at 7, 14, 21, 28. *)
+  Alcotest.(check int) "five solves" 5 (List.length r.P.solves);
+  Alcotest.(check int) "four migrations" 4 (List.length r.P.migrations);
+  (* With no warmup every request is recorded: played exactly once. *)
+  Alcotest.(check int) "request conservation"
+    (Vod_workload.Trace.length sc.Sc.trace)
+    r.P.metrics.Vod_sim.Metrics.requests;
+  pipeline_conservation r
+
 let scheme_names () =
   let sc = tiny_scenario () in
   let cfg =
@@ -116,5 +166,7 @@ let suite =
     Alcotest.test_case "pipeline topk" `Quick pipeline_topk;
     Alcotest.test_case "pipeline origin" `Quick pipeline_origin;
     Alcotest.test_case "estimation ordering" `Slow estimation_ordering;
+    Alcotest.test_case "update schedule tiling" `Quick update_schedule_tiling;
+    Alcotest.test_case "30d weekly regression" `Slow pipeline_30d_weekly_regression;
     Alcotest.test_case "scheme names" `Quick scheme_names;
   ]

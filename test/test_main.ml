@@ -13,6 +13,7 @@ let () =
       ("cache2", Test_cache2.suite);
       ("sim", Test_sim.suite);
       ("resil", Test_resil.suite);
+      ("serve", Test_serve.suite);
       ("core", Test_core.suite);
       ("properties", Test_props.suite);
       ("edge", Test_edge.suite);

@@ -92,6 +92,39 @@ if ! diff -u "$smoke_dir/fault_metrics1.inv" "$smoke_dir/fault_metrics4.inv"; th
   echo "FAIL: non-time fault metrics differ between --jobs 1 and --jobs 4" >&2
   exit 1
 fi
+echo "== daemon determinism smoke: --jobs 1 vs --jobs 4 =="
+# The online re-placement daemon (continuous replans, warm starts,
+# migration budget, fault reaction) must also be byte-identical at any
+# job count; the serve report carries no timing line.
+for j in 1 4; do
+  dune exec --no-print-directory bin/vodopt.exe -- serve \
+    --videos 100 --days 10 --requests-per-video 5 --passes 10 \
+    --update-hours 12 --budget 150 --faults single-vho --link-capacity 400 \
+    --jobs "$j" --metrics "$smoke_dir/daemon_metrics$j.json" \
+    > "$smoke_dir/daemon$j.out"
+done
+if ! diff -u "$smoke_dir/daemon1.out" "$smoke_dir/daemon4.out"; then
+  echo "FAIL: daemon output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+for j in 1 4; do
+  grep -vE '_seconds|"pool/sched/' "$smoke_dir/daemon_metrics$j.json" \
+    > "$smoke_dir/daemon_metrics$j.inv"
+done
+if ! diff -u "$smoke_dir/daemon_metrics1.inv" "$smoke_dir/daemon_metrics4.inv"; then
+  echo "FAIL: non-time daemon metrics differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+echo "== daemon bench exhibit (quick scale, checkpointed) =="
+# The continuous-vs-batch exhibit must run end to end at quick scale;
+# --checkpoint exercises the resumable-exhibit path and leaves the
+# per-exhibit metrics JSON behind for the registry check below.
+VOD_SCALE=quick dune exec --no-print-directory bench/main.exe -- daemon \
+  --checkpoint "$smoke_dir/ckpt" > /dev/null
+[ -f "$smoke_dir/ckpt/daemon.metrics.json" ] || {
+  echo "FAIL: daemon exhibit left no checkpoint metrics" >&2
+  exit 1
+}
 echo "== bench metrics vs METRICS.md registry =="
 # Run one quick-scale bench exhibit with --metrics and check every
 # emitted key is documented. Normalize instance-specific name parts to
@@ -101,9 +134,12 @@ VOD_SCALE=quick dune exec --no-print-directory bench/main.exe -- table3 \
   --metrics "$smoke_dir/bench_metrics.json" > /dev/null
 sed -n '/<!-- registry:begin/,/registry:end -->/p' METRICS.md \
   | grep -oE '^\| `[^`]+`' | sed 's/^| `//; s/`$//' > "$smoke_dir/registry.txt"
-# The fault smoke above exported the resil/* keys; validate them too.
+# The fault and daemon smokes above exported the serving-loop and
+# daemon keys; validate them too, along with the checkpointed daemon
+# exhibit's registry.
 keys=$(grep -hoE '^  "[^"]+"' "$smoke_dir/bench_metrics.json" \
-  "$smoke_dir/fault_metrics1.json" | tr -d ' "')
+  "$smoke_dir/fault_metrics1.json" "$smoke_dir/daemon_metrics1.json" \
+  "$smoke_dir/ckpt/daemon.metrics.json" | tr -d ' "')
 [ -n "$keys" ] || { echo "FAIL: bench --metrics emitted no keys" >&2; exit 1; }
 status=0
 for key in $keys; do
