@@ -3,37 +3,56 @@
    "Units & hot-path analysis").
 
    Usage: vodlint [--format text|json|github] [--disable IDS]
-                  [--list-rules] [--project] [--baseline FILE]
+                  [--rules] [--list-rules] [--project] [--baseline FILE]
                   [--write-baseline] [--forbid-stale]
-                  [--units-decl FILE] [PATH ...]
+                  [--units-decl FILE] [--protocols-decl FILE] [PATH ...]
 
    With no paths it lints the default scope: lib/ bin/ bench/ examples/.
    [--project] additionally runs the whole-project rules — the
    effect-analysis phase (par-race, float-order, wallclock-in-solver,
-   obs-taint) and the units/hot-path phase (unit-mismatch,
+   obs-taint), the units/hot-path phase (unit-mismatch,
    unit-unannotated-boundary, alloc-in-hot, seeded from --units-decl)
-   — and subtracts the accepted findings recorded in the baseline file.
+   and the protocol phase (proto-leak, proto-double-release,
+   missing-protect, seeded from --protocols-decl) — and subtracts the
+   accepted findings recorded in the baseline file.
    Exit code 0 when clean, 1 on (unbaselined) findings — or stale
    baseline entries under --forbid-stale — and 2 on usage or internal
    analysis errors (bad flags, unreadable roots, malformed
-   units.decl). *)
+   units.decl/protocols.decl). *)
 
 let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
 
 let usage =
-  "vodlint [--format text|json|github] [--disable IDS] [--list-rules]\n\
-  \        [--project] [--baseline FILE] [--write-baseline]\n\
-  \        [--forbid-stale] [--units-decl FILE] [PATH ...]"
+  "vodlint [--format text|json|github] [--disable IDS] [--rules]\n\
+  \        [--list-rules] [--project] [--baseline FILE] [--write-baseline]\n\
+  \        [--forbid-stale] [--units-decl FILE] [--protocols-decl FILE]\n\
+  \        [PATH ...]"
+
+(* Minimal JSON string escaping for the --rules json listing (rule ids
+   and docs are plain ASCII; this keeps quoting honest anyway). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let () =
   let format = ref `Text in
   let disabled = ref [] in
   let list_rules = ref false in
+  let rules_listing = ref false in
   let project = ref false in
   let baseline_path = ref ".vodlint-baseline" in
   let write_baseline = ref false in
   let forbid_stale = ref false in
   let units_decl_path = ref "units.decl" in
+  let protocols_decl_path = ref "protocols.decl" in
   let roots = ref [] in
   let set_format = function
     | "text" -> format := `Text
@@ -55,6 +74,10 @@ let () =
         "FMT report as 'text' (default), 'json' or 'github' (Actions \
          annotations)" );
       ("--disable", Arg.String add_disabled, "IDS comma-separated rule ids to skip");
+      ( "--rules",
+        Arg.Set rules_listing,
+        " list every rule id, phase and rationale (honors --format json), \
+         then exit" );
       ("--list-rules", Arg.Set list_rules, " print rule ids and descriptions, then exit");
       ("--project", Arg.Set project, " run the whole-project analysis phases too");
       ( "--baseline",
@@ -70,9 +93,41 @@ let () =
         Arg.Set_string units_decl_path,
         "FILE units signature file for --project (default units.decl; missing \
          file = no declarations)" );
+      ( "--protocols-decl",
+        Arg.Set_string protocols_decl_path,
+        "FILE acquire/release protocol file for --project (default \
+         protocols.decl; missing file = no declarations)" );
     ]
   in
   Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  if !rules_listing then begin
+    let entries =
+      List.map
+        (fun (r : Vod_lint.Rules.t) -> (r.id, "file", r.doc))
+        Vod_lint.Rules.all
+      @ List.map
+          (fun (r : Vod_lint.Project_rules.t) -> (r.id, "project", r.doc))
+          Vod_lint.Project_rules.all
+    in
+    (match !format with
+    | `Json ->
+        let objs =
+          List.map
+            (fun (id, phase, doc) ->
+              Printf.sprintf
+                "  {\"id\": \"%s\", \"phase\": \"%s\", \"rationale\": \"%s\"}"
+                (json_escape id) (json_escape phase) (json_escape doc))
+            entries
+        in
+        print_endline
+          (Printf.sprintf "[\n%s\n]" (String.concat ",\n" objs))
+    | `Text | `Github ->
+        List.iter
+          (fun (id, phase, doc) ->
+            print_endline (Printf.sprintf "%-26s [%s]  %s" id phase doc))
+          entries);
+    exit 0
+  end;
   if !list_rules then begin
     List.iter
       (fun (r : Vod_lint.Rules.t) ->
@@ -102,6 +157,12 @@ let () =
       prerr_endline ("vodlint: " ^ msg);
       exit 2
   in
+  let protocols_decl =
+    try Vod_lint.Proto.load_decl !protocols_decl_path
+    with Vod_lint.Proto.Decl_error msg ->
+      prerr_endline ("vodlint: " ^ msg);
+      exit 2
+  in
   (* Findings exit 1; anything that prevents the analysis from giving
      an answer at all — bad roots, a crash in an analysis pass — is an
      internal error and exits 2, so CI can tell "code has findings"
@@ -112,7 +173,7 @@ let () =
       let diags =
         if !project then
           Vod_lint.Engine.lint_project ~rules ~disabled:!disabled ~units_decl
-            roots
+            ~protocols_decl roots
         else Vod_lint.Engine.lint_paths ~rules roots
       in
       (scanned, diags)

@@ -1,0 +1,66 @@
+(** Phase-4a of the whole-project analysis: intraprocedural control-flow
+    graphs over parsetree expressions, the substrate of the protocol /
+    typestate dataflow ({!Proto}).
+
+    A graph has one {e entry} node, one {e exit} node (every normal
+    return path reaches it) and one {e exn_exit} node (every uncaught
+    exceptional path reaches it). Each interior node carries an ordered
+    list of atomic statements — [let pat = e] bindings and bare
+    evaluations — plus normal successor edges and a single {e handler}
+    edge: the node a raise inside this node lands on (the innermost
+    enclosing [try]'s handler, or [exn_exit]).
+
+    Construction decomposes sequences, [let], [if], [match] (including
+    [exception] cases), [try], [while]/[for] loops and explicit raises
+    ([raise]/[failwith]/[invalid_arg], whose continuations are
+    unreachable). Three application shapes get structural treatment
+    instead of being atomic:
+
+    - [Fun.protect ~finally:(fun () -> fin) (fun () -> body)] — [body]
+      is built with its handler pointing at a copy of [fin] that
+      continues to the outer handler (the re-raise), and the normal exit
+      of [body] flows through a second copy of [fin]. A release inside
+      [fin] is therefore seen on both the normal and exceptional path.
+    - iterator calls with a literal closure ([List.iter (fun x -> ...)],
+      [Array.init n (fun i -> ...)], folds, maps...) — the closure body
+      is inlined as a loop (runs zero or more times, exceptions
+      propagate to the call site);
+    - once-runner calls with a literal closure ([Obs.phase],
+      [Checkpoint.run], ...) — the closure body is inlined linearly
+      (runs exactly once in place).
+
+    Other closures stay opaque values inside atomic statements; the
+    dataflow treats a protocol token captured by one as escaped. *)
+
+type stmt =
+  | Bind of Parsetree.pattern * Parsetree.expression
+      (** [let pat = e] (also models [match] case entry: pattern
+          variables alias the scrutinee) *)
+  | Eval of Parsetree.expression  (** evaluate and discard *)
+
+type t
+
+val build : Parsetree.expression -> t
+(** Build the CFG of a function body. Leading [fun]/[function]
+    parameter chains are stripped (a root-level [function] becomes a
+    branch over its cases); inner lambdas are opaque. *)
+
+val n_nodes : t -> int
+val entry : t -> int
+val exit_node : t -> int
+val exn_exit : t -> int
+
+val stmts : t -> int -> stmt list
+(** Statements of a node, in execution order. *)
+
+val succs : t -> int -> int list
+(** Normal successors. *)
+
+val handler : t -> int -> int
+(** Where a raise inside this node lands ([exn_exit] if uncaught). *)
+
+val borrows_closures : string -> bool
+(** Whether the named callee (normalized) is known to only {e run} its
+    closure arguments, never store them — the iterator / once-runner /
+    [Fun.protect] set above. The dataflow uses this to keep a protocol
+    token captured by such a closure from counting as escaped. *)

@@ -31,6 +31,7 @@ type kind =
   | Random           (* the global Stdlib.Random generator *)
   | Wallclock        (* Sys.time / Unix.gettimeofday / Unix.time *)
   | Rng_state        (* advances an explicit Vod_util.Rng stream *)
+  | Raises           (* contains an explicit raise / failwith / assert *)
 
 type set = int
 
@@ -44,16 +45,19 @@ let bit = function
   | Random -> 16
   | Wallclock -> 32
   | Rng_state -> 64
+  | Raises -> 128
 
 let add k s = s lor bit k
 let mem k s = s land bit k <> 0
 let union a b = a lor b
 let inter a b = a land b
+let remove k s = s land lnot (bit k)
 let is_empty s = s = 0
 let singleton k = bit k
 
 let all_kinds =
-  [ Mutates_capture; Mutates_global; Mutates_args; Io; Random; Wallclock; Rng_state ]
+  [ Mutates_capture; Mutates_global; Mutates_args; Io; Random; Wallclock;
+    Rng_state; Raises ]
 
 let describe = function
   | Mutates_capture -> "mutates captured state"
@@ -63,6 +67,7 @@ let describe = function
   | Random -> "draws from the global Random generator"
   | Wallclock -> "reads the wall clock"
   | Rng_state -> "advances an explicit Rng stream"
+  | Raises -> "may raise"
 
 let to_string s =
   all_kinds
@@ -89,6 +94,8 @@ type call = {
   callee : string;         (* normalized name, e.g. "Engine.solve" *)
   arg_roots : root list;
   call_loc : Location.t;
+  in_try : bool;           (* lexically inside try/match-exception: the
+                              callee's Raises is masked at this site *)
 }
 
 type result = {
@@ -237,12 +244,19 @@ let aliasing =
     "fst"; "snd"; "Atomic.get"; "Queue.peek"; "Queue.top"; "Stack.top";
   ]
 
+(* Explicit raisers only: stdlib partial functions (Hashtbl.find,
+   Option.get, ...) raise on *some* inputs, but counting them would make
+   nearly every function may-raise and drown the missing-protect rule.
+   assert is handled separately in the walker (it is not an apply). *)
+let raise_names = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
 let classify_prim name =
   if List.mem name wallclock_names then Some Wallclock
   else if has_prefix "Random." name then Some Random
   else if List.exists (fun p -> has_prefix p name) rng_prefixes then Some Rng_state
   else if List.mem name io_names then Some Io
   else if List.exists (fun p -> has_prefix p name) io_prefixes then Some Io
+  else if List.mem name raise_names then Some Raises
   else None
 
 (* ------------------------------------------------------------------ *)
@@ -315,9 +329,16 @@ type st = {
          nested pool sites are not recorded twice *)
   mutable expanding : string list;
       (* local functions being inlined (recursion guard) *)
+  mutable try_depth : int;
+      (* > 0 inside a try body (or a match with exception cases): raises
+         there are caught locally and do not escape the function *)
 }
 
-let record_effect st k = st.effects <- add k st.effects
+let record_effect st k =
+  (* Raises inside a try body is caught before it leaves the function.
+     The handler may re-raise, but that re-raise is its own Raises. *)
+  if k = Raises && st.try_depth > 0 then ()
+  else st.effects <- add k st.effects
 
 let mutation_effect st root =
   match root with
@@ -406,7 +427,18 @@ let rec walk st env e =
       List.iter (fun vb -> walk st env' vb.pvb_expr) vbs;
       walk st env' body
   | Pexp_match (scrut, cases) ->
-      walk st env scrut;
+      let has_exn_case =
+        List.exists
+          (fun c ->
+            match c.pc_lhs.ppat_desc with Ppat_exception _ -> true | _ -> false)
+          cases
+      in
+      if has_exn_case then begin
+        st.try_depth <- st.try_depth + 1;
+        walk st env scrut;
+        st.try_depth <- st.try_depth - 1
+      end
+      else walk st env scrut;
       let r = root_of env scrut in
       List.iter
         (fun c ->
@@ -418,7 +450,9 @@ let rec walk st env e =
           walk st env' c.pc_rhs)
         cases
   | Pexp_try (body, cases) ->
+      st.try_depth <- st.try_depth + 1;
       walk st env body;
+      st.try_depth <- st.try_depth - 1;
       List.iter
         (fun c ->
           let env' = bind_pat env c.pc_lhs Local in
@@ -429,6 +463,10 @@ let rec walk st env e =
       walk st env lo;
       walk st env hi;
       walk st (bind_pat env pat Local) body
+  | Pexp_assert inner ->
+      (* assert false and failed invariant asserts both raise. *)
+      record_effect st Raises;
+      walk st env inner
   | _ ->
       (* Remaining forms bind nothing interesting: iterate children in
          the current environment. *)
@@ -505,14 +543,23 @@ and handle_call st env e raw args =
       | None ->
           if name <> "|>" && name <> "@@" then
             st.calls <-
-              { callee = name; arg_roots; call_loc = e.pexp_loc } :: st.calls)
+              {
+                callee = name;
+                arg_roots;
+                call_loc = e.pexp_loc;
+                in_try = st.try_depth > 0;
+              }
+              :: st.calls)
 
 (* Analyze an expression as a task body: everything bound outside it is
    captured. Calls to local functions are expanded inline (they cannot
    be resolved through the cross-module summary table). *)
 and analyze_capture st0 env expr_kind =
+  (* try_depth restarts at 0: the closure's raises happen when it is
+     *called*, outside whatever try happens to surround its definition. *)
   let st =
-    { effects = empty; calls = []; sites = None; expanding = st0.expanding }
+    { effects = empty; calls = []; sites = None; expanding = st0.expanding;
+      try_depth = 0 }
   in
   let denv = demote env in
   (match expr_kind with
@@ -537,7 +584,8 @@ and analyze_capture st0 env expr_kind =
         st.expanding <- callee :: st.expanding;
         let l = List.assoc callee env.fns in
         let inner =
-          { effects = empty; calls = []; sites = None; expanding = st.expanding }
+          { effects = empty; calls = []; sites = None; expanding = st.expanding;
+            try_depth = 0 }
         in
         let env' =
           List.fold_left (fun acc p -> bind_pat acc p Param) (demote env) l.l_params
@@ -596,7 +644,10 @@ let analyze_value_binding ~sites ~prefix vb =
     | Ppat_var { txt; _ } -> Some txt
     | _ -> None
   in
-  let st = { effects = empty; calls = []; sites = Some sites; expanding = [] } in
+  let st =
+    { effects = empty; calls = []; sites = Some sites; expanding = [];
+      try_depth = 0 }
+  in
   let env = { vars = []; fns = [] } in
   walk_fn st env vb.pvb_expr;
   match name with

@@ -13,6 +13,12 @@ type kind =
   | Random           (** the global [Stdlib.Random] generator *)
   | Wallclock        (** [Sys.time] / [Unix.gettimeofday] / [Unix.time] *)
   | Rng_state        (** advances an explicit [Vod_util.Rng] stream *)
+  | Raises
+      (** contains an explicit [raise]/[failwith]/[invalid_arg]/[assert]
+          outside any [try] — the body may exit exceptionally. Stdlib
+          partial functions ([Hashtbl.find], [Option.get], ...) are
+          deliberately not counted: they raise on some inputs only, and
+          counting them would make nearly everything may-raise. *)
 
 (** A set of effect kinds (bitmask; cheap to union during fixpoints). *)
 type set
@@ -34,6 +40,10 @@ val union : set -> set -> set
 
 val inter : set -> set -> set
 (** Set intersection. *)
+
+val remove : kind -> set -> set
+(** Drop one kind from a set (used to mask [Raises] at in-try call
+    sites). *)
 
 val is_empty : set -> bool
 (** Whether the set is {!empty} (the function looks pure). *)
@@ -59,6 +69,10 @@ type call = {
   callee : string;         (** normalized name, e.g. ["Engine.solve"] *)
   arg_roots : root list;
   call_loc : Location.t;
+  in_try : bool;
+      (** the call site sits lexically inside a [try] body (or a [match]
+          with [exception] cases): the callee's [Raises] is caught here
+          and must not propagate to the caller's summary *)
 }
 
 type result = {

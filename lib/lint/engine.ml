@@ -6,8 +6,12 @@
 let ml_suffix path = Filename.check_suffix path ".ml"
 let mli_suffix path = Filename.check_suffix path ".mli"
 
+(* [lintfixture] holds deliberately-broken parse-only fixtures for the
+   lint test suite; sweeping them would drown the report in intended
+   findings. *)
 let skip_dir name =
-  name = "_build" || name = ".git" || (String.length name > 0 && name.[0] = '.')
+  name = "_build" || name = ".git" || name = "lintfixture"
+  || (String.length name > 0 && name.[0] = '.')
 
 (* Depth-first walk, children visited in sorted order so reports are
    deterministic across filesystems. *)
@@ -117,7 +121,7 @@ let filter_suppressed ~sources diags =
       | None -> true)
     diags
 
-let project_core ~rules ~disabled ~units_decl ~on_disk files =
+let project_core ~rules ~disabled ~units_decl ~protocols_decl ~on_disk files =
   (* files : (path * src * (ast, exn) result) list *)
   let phase1 =
     List.concat_map
@@ -137,14 +141,16 @@ let project_core ~rules ~disabled ~units_decl ~on_disk files =
   in
   let sources = List.map (fun (path, src, _) -> (path, src)) files in
   let phase2 =
-    Project_rules.run ~disabled ~units_decl impls |> filter_suppressed ~sources
+    Project_rules.run ~disabled ~units_decl ~protocols_decl impls
+    |> filter_suppressed ~sources
   in
   (* Sorted by (file, line, col, rule) and de-duplicated, so project
      reports and the baseline file are diff-stable across runs. *)
   List.sort_uniq Diagnostic.compare (phase1 @ phase2)
 
 let lint_project ?(rules = Rules.all) ?(disabled = [])
-    ?(units_decl = Units.empty_decl) roots =
+    ?(units_decl = Units.empty_decl) ?(protocols_decl = Proto.empty_decl) roots
+    =
   let files =
     discover roots
     |> List.map (fun path ->
@@ -152,10 +158,11 @@ let lint_project ?(rules = Rules.all) ?(disabled = [])
            let parsed = try Ok (parse_file path) with e -> Error e in
            (path, src, parsed))
   in
-  project_core ~rules ~disabled ~units_decl ~on_disk:true files
+  project_core ~rules ~disabled ~units_decl ~protocols_decl ~on_disk:true files
 
 let lint_project_strings ?(rules = Rules.all) ?(disabled = [])
-    ?(units_decl = Units.empty_decl) sources =
+    ?(units_decl = Units.empty_decl) ?(protocols_decl = Proto.empty_decl)
+    sources =
   let files =
     List.map
       (fun (path, src) ->
@@ -163,4 +170,4 @@ let lint_project_strings ?(rules = Rules.all) ?(disabled = [])
         (path, src, parsed))
       sources
   in
-  project_core ~rules ~disabled ~units_decl ~on_disk:false files
+  project_core ~rules ~disabled ~units_decl ~protocols_decl ~on_disk:false files

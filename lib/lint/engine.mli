@@ -6,7 +6,8 @@
     rest of the tree. *)
 
 (** All [.ml]/[.mli] files under the given roots (files are accepted
-    too), sorted; [_build], [.git] and dot-directories are skipped.
+    too), sorted; [_build], [.git], [lintfixture] (parse-only lint
+    test fixtures) and dot-directories are skipped.
     Raises [Invalid_argument] on a nonexistent root. *)
 val discover : string list -> string list
 
@@ -29,11 +30,14 @@ val lint_paths : ?rules:Rules.t list -> string list -> Diagnostic.t list
     sorted by (file, line, col, rule) and de-duplicated, so output and
     baselines are diff-stable. Baseline subtraction is the caller's
     job ({!Baseline.apply}). [units_decl] (default
-    {!Units.empty_decl}) seeds the phase-3 units dataflow. *)
+    {!Units.empty_decl}) seeds the phase-3 units dataflow;
+    [protocols_decl] (default {!Proto.empty_decl}) seeds the phase-4
+    protocol dataflow. *)
 val lint_project :
   ?rules:Rules.t list ->
   ?disabled:string list ->
   ?units_decl:Units.decl ->
+  ?protocols_decl:Proto.decl ->
   string list ->
   Diagnostic.t list
 
@@ -43,5 +47,6 @@ val lint_project_strings :
   ?rules:Rules.t list ->
   ?disabled:string list ->
   ?units_decl:Units.decl ->
+  ?protocols_decl:Proto.decl ->
   (string * string) list ->
   Diagnostic.t list

@@ -59,6 +59,28 @@ let all =
          call-graph closure of Pool task bodies or the serving inner loops \
          (Sim/Playout/Capacity/Router/Fleet/Metrics), ranked by obs phase";
     };
+    {
+      id = "proto-leak";
+      doc =
+        "a value acquired through a protocols.decl acquire function \
+         (Loop.create, Pool.create, open_out, ...) can reach the end of its \
+         function on some normal path without its declared release, or its \
+         result is discarded outright";
+    };
+    {
+      id = "proto-double-release";
+      doc =
+        "a declared release function applied to a value already released on \
+         every path to that point (close_out twice, Loop.finish after \
+         Loop.finish, ...)";
+    };
+    {
+      id = "missing-protect";
+      doc =
+        "every normal path releases the acquired value, but the span crosses \
+         a call that may raise and the exceptional path skips the release; \
+         wrap the span in Fun.protect ~finally";
+    };
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all
@@ -374,7 +396,7 @@ let obs_taint ~file (str : structure) =
 (* Driver                                                              *)
 
 let run ?(disabled = []) ?(units_decl = Units.empty_decl)
-    (files : (string * structure) list) =
+    ?(protocols_decl = Proto.empty_decl) (files : (string * structure) list) =
   let enabled id = not (List.mem id disabled) in
   let analyses =
     List.map (fun (path, str) -> Effects.analyze_impl ~path str) files
@@ -398,4 +420,13 @@ let run ?(disabled = []) ?(units_decl = Units.empty_decl)
     else []
   in
   let hot_diags = if enabled "alloc-in-hot" then Hotpath.run files else [] in
-  per_file @ units_diags @ hot_diags
+  let proto_diags =
+    let leak = enabled "proto-leak" in
+    let double = enabled "proto-double-release" in
+    let protect = enabled "missing-protect" in
+    if leak || double || protect then
+      Proto.run ~decl:protocols_decl ~leak ~double ~protect ~summaries:table
+        files
+    else []
+  in
+  per_file @ units_diags @ hot_diags @ proto_diags

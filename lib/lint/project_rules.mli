@@ -27,7 +27,18 @@
       suffixes and the [units_decl] signature file;
     - [alloc-in-hot] — the {!Hotpath} allocation analysis over the
       call-graph closure of Pool task bodies and the serving inner
-      loops. *)
+      loops.
+
+    Phase-4 rules (the {!Cfg}/{!Proto} protocol dataflow, seeded from
+    [protocols_decl]):
+
+    - [proto-leak] — an acquired value can reach the function's normal
+      exit unreleased, or the acquire's result is discarded;
+    - [proto-double-release] — a release applied to a value already
+      definitely released;
+    - [missing-protect] — the acquire/release span crosses a call that
+      may raise and the exceptional path skips the release
+      ([Fun.protect] is the fix). *)
 
 type t = { id : string; doc : string }
 
@@ -40,11 +51,14 @@ val find : string -> t option
 val run :
   ?disabled:string list ->
   ?units_decl:Units.decl ->
+  ?protocols_decl:Proto.decl ->
   (string * Parsetree.structure) list ->
   Diagnostic.t list
 (** Run every enabled project rule over the given [(path, ast)] pairs
     (implementation files only). [units_decl] (default
     {!Units.empty_decl}) seeds the units dataflow; without it the
-    boundary rule is vacuous. Diagnostics are unsorted and
-    unsuppressed — {!Engine} applies [vodlint-disable] filtering and
-    ordering. *)
+    boundary rule is vacuous. [protocols_decl] (default
+    {!Proto.empty_decl}) seeds the protocol dataflow; without it the
+    three [proto-*]/[missing-protect] rules are vacuous. Diagnostics
+    are unsorted and unsuppressed — {!Engine} applies
+    [vodlint-disable] filtering and ordering. *)

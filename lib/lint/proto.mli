@@ -1,0 +1,72 @@
+(** Phase-4b of the whole-project analysis: protocol / typestate
+    dataflow over the {!Cfg} control-flow graphs.
+
+    Protocols are declared in the repo-root [protocols.decl] (format in
+    its header comment, mirroring [units.decl]): each names an acquire
+    function whose {e result value} carries an obligation, the release
+    functions that discharge it, optional handoff functions that
+    transfer ownership elsewhere, and an optional sanctioned bracket
+    (e.g. [Pool.with_pool]) quoted in messages.
+
+    For every top-level function the pass tracks each acquire site
+    through a per-site lattice — unreached < Held / Released < both —
+    joined over branches, matches, loops and raise edges, and reports:
+
+    - [proto-leak] — the obligation can reach the function's normal
+      exit still held (some path misses the release), or the acquire's
+      result is discarded outright;
+    - [missing-protect] — every normal path releases, but the span
+      crosses a statement that may raise (syntactic raisers, or calls
+      whose closed {!Summaries} carry {!Effects.Raises}) and the
+      exceptional path skips the release: the fix is [Fun.protect];
+    - [proto-double-release] — a release applied to a value already
+      definitely released on every path to that point.
+
+    Tokens are tracked conservatively by name: binding the acquire's
+    result extends the obligation to the bound variables (and to
+    match-case aliases of them); passing a token to a call is a borrow;
+    storing it in a record/tuple/array/constructor/ref, returning it, or
+    capturing it in a closure the CFG cannot inline counts as an escape
+    and silences every report for that site (ownership moved somewhere
+    this intraprocedural pass cannot see). Module-level (non-function)
+    bindings are program-lifetime resources and are not checked. *)
+
+type decl
+(** Parsed contents of a [protocols.decl] file. *)
+
+exception Decl_error of string
+(** Raised on a malformed declaration file. The CLI maps this to exit
+    code 2 (configuration error), not a finding. *)
+
+val empty_decl : decl
+(** No protocols declared: all three rules are vacuous. *)
+
+val decl_of_string : string -> decl
+(** Parse declarations. Lines are
+    [NAME acquire=Q.fn\[,Q.fn...\] release=Q.fn\[,...\]
+    \[handoff=Q.fn,...\] \[bracket=Q.fn,...\]]; [#] starts a comment.
+    Raises {!Decl_error} on malformed input (missing acquire/release,
+    unknown keys, duplicate protocol names). *)
+
+val load_decl : string -> decl
+(** Load a declaration file; a missing file is {!empty_decl}.
+    Raises {!Decl_error} on malformed contents. *)
+
+val decl_values : decl -> string list
+(** Every function name mentioned by the declarations, in file order —
+    used by the stale-declaration check in [tools/check.sh] and its
+    tests. *)
+
+val run :
+  decl:decl ->
+  leak:bool ->
+  double:bool ->
+  protect:bool ->
+  summaries:Summaries.t ->
+  (string * Parsetree.structure) list ->
+  Diagnostic.t list
+(** Run the protocol dataflow over every implementation file at once.
+    [leak]/[double]/[protect] gate the three rules; [summaries] supplies
+    the interprocedural may-raise facts. Diagnostics are unsorted and
+    unsuppressed — {!Engine} applies [vodlint-disable] filtering and
+    ordering. *)

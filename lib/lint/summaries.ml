@@ -79,16 +79,22 @@ let resolve t ~current_module name =
 (* Map a callee's own effects onto the caller, given the provenance of
    the arguments at this call site: the callee mutating *its* arguments
    means the caller mutates whatever it passed in. *)
-let effects_at_site ~(callee : Effects.set) ~(arg_roots : Effects.root list) =
+let effects_at_site ~(callee : Effects.set) ~(arg_roots : Effects.root list)
+    ~in_try =
   let open Effects in
   let direct =
     inter callee
       (union
-         (union (singleton Mutates_capture) (singleton Mutates_global))
          (union
-            (union (singleton Io) (singleton Random))
-            (union (singleton Wallclock) (singleton Rng_state))))
+            (union (singleton Mutates_capture) (singleton Mutates_global))
+            (union (singleton Io) (singleton Random)))
+         (union
+            (union (singleton Wallclock) (singleton Rng_state))
+            (singleton Raises)))
   in
+  (* A raise inside the callee is caught by the try around this call
+     site; the other effects still happen before it is caught. *)
+  let direct = if in_try then remove Raises direct else direct in
   if mem Mutates_args callee then
     match List.fold_left worst Local arg_roots with
     | Local -> direct
@@ -114,6 +120,7 @@ let sweep t =
           | Some callee ->
               let contributed =
                 effects_at_site ~callee:callee.e_effects ~arg_roots:c.arg_roots
+                  ~in_try:c.in_try
               in
               let merged = Effects.union entry.e_effects contributed in
               if merged <> entry.e_effects then begin
@@ -146,12 +153,22 @@ let effects_of_result t ~current_module (r : Effects.result) =
       | None -> acc
       | Some callee ->
           Effects.union acc
-            (effects_at_site ~callee:callee.e_effects ~arg_roots:c.arg_roots))
+            (effects_at_site ~callee:callee.e_effects ~arg_roots:c.arg_roots
+               ~in_try:c.in_try))
     r.effects r.calls
 
 let effects_of_name t ~current_module name =
   match resolve t ~current_module name with
   | None -> None
   | Some e -> Some e.e_effects
+
+(* Whether a call to [name], as seen from [current_module], can exit
+   exceptionally per the closed summaries. Unresolvable callees are
+   assumed non-raising — same optimistic direction as the effect rules,
+   backstopped here by the syntactic raisers the CFG sees directly. *)
+let may_raise t ~current_module name =
+  match effects_of_name t ~current_module name with
+  | Some e -> Effects.mem Effects.Raises e
+  | None -> false
 
 let find t key = Hashtbl.find_opt t.table key

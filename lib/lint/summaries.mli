@@ -21,6 +21,13 @@ val effects_of_name : t -> current_module:string -> string -> Effects.set option
 (** Resolve a callee name as seen from [current_module] (unqualified
     names resolve within that module) and return its closed effects. *)
 
+val may_raise : t -> current_module:string -> string -> bool
+(** Whether the named callee's closed summary contains
+    {!Effects.Raises} — i.e. calling it can exit exceptionally.
+    Unresolvable names are assumed non-raising (optimistic, like the
+    other effect lookups); the protocol dataflow ({!Proto}) adds the
+    syntactic raisers it can see directly. *)
+
 val effects_of_result : t -> current_module:string -> Effects.result -> Effects.set
 (** Close an ad-hoc analysis result (e.g. a capture-analyzed pool
     closure) over the table: its direct effects plus the mapped effects

@@ -1,0 +1,22 @@
+(* Parse-only lint fixture — never compiled; see proto_leak_fire.ml.
+   Expected findings: exactly two missing-protect. *)
+
+(* a helper whose Raises effect reaches the spans below through the
+   interprocedural summaries, not syntactically *)
+let boom x = if x < 0 then failwith "negative" else x
+
+(* fire: boom can raise while r is held; the exceptional path skips the
+   release *)
+let unprotected x =
+  let r = Res.acquire () in
+  let y = boom x in
+  Res.release r;
+  y
+
+(* fire: the partial handler catches Not_found only — any other
+   exception still escapes with r held *)
+let partial x =
+  let r = Res.acquire () in
+  let v = try boom x with Not_found -> 0 in
+  Res.release r;
+  v

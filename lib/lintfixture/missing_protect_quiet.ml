@@ -1,0 +1,27 @@
+(* Parse-only lint fixture — never compiled; see proto_leak_fire.ml.
+   Every definition here must stay quiet under the res protocol.
+
+   The acceptance canary for the whole phase lives here: deleting the
+   Fun.protect wrapper in [protected] (calling boom directly and
+   releasing afterwards) turns it into missing_protect_fire.ml's
+   [unprotected] shape, test_proto's expected-findings check fails, and
+   CI goes red. *)
+
+let boom x = if x < 0 then failwith "negative" else x
+
+(* quiet: Fun.protect runs the release on both the normal and the
+   exceptional path *)
+let protected x =
+  let r = Res.acquire () in
+  Fun.protect ~finally:(fun () -> Res.release r) (fun () -> boom x)
+
+(* quiet: the catch-all handler keeps the exception from escaping the
+   acquire/release span *)
+let caught x =
+  let r = Res.acquire () in
+  let v = try boom x with _ -> 0 in
+  Res.release r;
+  v
+
+(* quiet: the declared bracket owns acquisition and release itself *)
+let bracketed x = Res.with_res (fun r -> ignore r; boom x)

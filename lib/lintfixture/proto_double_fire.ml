@@ -1,0 +1,14 @@
+(* Parse-only lint fixture — never compiled; see proto_leak_fire.ml.
+   Expected findings: exactly two proto-double-release. *)
+
+(* fire: released twice in sequence *)
+let twice () =
+  let r = Res.acquire () in
+  Res.release r;
+  Res.release r
+
+(* fire: both branches release, then an unconditional second release *)
+let join_then_release cond =
+  let r = Res.acquire () in
+  (if cond then Res.release r else Res.release r);
+  Res.release r

@@ -1,0 +1,15 @@
+(* Parse-only lint fixture — never compiled; see proto_leak_fire.ml.
+   Every definition here must stay quiet under the res protocol. *)
+
+(* quiet: only maybe-released when the second release runs — one branch
+   skipped the first, so this is not a definite double release (and the
+   exit state is definitely released, so no leak either) *)
+let maybe cond =
+  let r = Res.acquire () in
+  if cond then Res.release r;
+  Res.release r
+
+(* quiet: each branch releases exactly once *)
+let per_branch cond =
+  let r = Res.acquire () in
+  if cond then Res.release r else Res.release r

@@ -1,0 +1,25 @@
+(* Parse-only lint fixture — never compiled (no dune stanza; Engine
+   discovery skips lintfixture/). Read from disk by test_proto.ml and
+   analyzed against the test declaration
+     res acquire=Res.acquire release=Res.release
+         handoff=Res.register bracket=Res.with_res
+   Expected findings: exactly three proto-leak. *)
+
+(* fire: the else-branch returns without releasing *)
+let branch_leak cond =
+  let r = Res.acquire () in
+  if cond then Res.release r else ()
+
+(* fire: one case of the match misses the release *)
+let match_leak v =
+  let r = Res.acquire () in
+  match v with
+  | Some x ->
+      Res.release r;
+      x
+  | None -> 0
+
+(* fire: the acquire's result is discarded outright *)
+let dropped () =
+  let _ = Res.acquire () in
+  ()

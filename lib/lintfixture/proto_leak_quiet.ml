@@ -1,0 +1,45 @@
+(* Parse-only lint fixture — never compiled; see proto_leak_fire.ml.
+   Every definition here must stay quiet under the res protocol. *)
+
+(* quiet: released on every branch of the match *)
+let match_ok v =
+  let r = Res.acquire () in
+  match v with
+  | Some x ->
+      Res.release r;
+      x
+  | None ->
+      Res.release r;
+      0
+
+(* quiet: each loop iteration releases its own token *)
+let loop_ok n =
+  for i = 0 to n - 1 do
+    let r = Res.acquire () in
+    ignore i;
+    Res.release r
+  done
+
+(* quiet: the token escapes into a record — ownership moved *)
+let store_ok () =
+  let r = Res.acquire () in
+  { res = r }
+
+(* quiet: the token is returned to the caller *)
+let return_ok () =
+  let r = Res.acquire () in
+  r
+
+(* quiet: tail-position acquire is the function's value, not a discard *)
+let creator_ok () = Res.acquire ()
+
+(* quiet: a handoff transfers the obligation elsewhere *)
+let handoff_ok () =
+  let r = Res.acquire () in
+  Res.register r
+
+(* quiet: releasing through an alias still counts *)
+let alias_ok () =
+  let r = Res.acquire () in
+  let alias = r in
+  Res.release alias

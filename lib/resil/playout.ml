@@ -283,6 +283,10 @@ let run ~graph ~paths ~catalog ~fleet ~trace ?(bin_s = 300.0)
       ~horizon_s ~bin_s ~record_from ()
   in
   let t = create ~graph ~paths cfg in
-  play t metrics catalog fleet trace.Vod_workload.Trace.requests;
-  finish t metrics;
+  (* [play] can raise (request validation); [finish] is idempotent, so
+     settling the ledger under Fun.protect keeps the normal path
+     byte-identical while closing it on the exceptional one. *)
+  Fun.protect
+    ~finally:(fun () -> finish t metrics)
+    (fun () -> play t metrics catalog fleet trace.Vod_workload.Trace.requests);
   (metrics, windows t)

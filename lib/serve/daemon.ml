@@ -140,55 +140,62 @@ let run ~graph ~paths ~catalog ~(trace : Vod_workload.Trace.t)
   in
   let n_videos = Vod_workload.Catalog.n_videos catalog in
   let prev = ref 0.0 in
-  List.iter
-    (fun (t_b, trigger) ->
-      Loop.play loop metrics (Vod_workload.Trace.between trace ~t0_s:!prev ~t1_s:t_b);
-      Loop.advance loop ~now:t_b;
-      let predicted =
-        Vod_workload.Estimator.predict_at ~history_s:cfg.history_s cfg.estimator
-          catalog trace ~t0_s:t_b
-      in
-      let demand = Replan.demand problem ~t0_s:t_b predicted in
-      let incumbent = if cfg.warm_start then Some !current else None in
-      let down_vhos =
-        if cfg.react_to_faults then
-          Some (Array.init n_vhos (fun i -> not (Loop.vho_up loop i)))
-        else None
-      in
-      let report = Replan.solve ?incumbent ?down_vhos problem demand in
-      let priority =
-        Array.init n_videos (Vod_workload.Demand.video_requests demand)
-      in
-      let delta =
-        Replan.restrict ~catalog ~incumbent:!current
-          ~target:report.Vod_placement.Solve.solution ~priority
-          ~budget_gb:cfg.migration_budget_gb
-      in
-      current := delta.Replan.solution;
-      Loop.set_fleet loop (fleet_of !current);
-      replans :=
-        {
-          t_s = t_b;
-          trigger;
-          report;
-          applied = delta.Replan.applied;
-          deferred = delta.Replan.deferred;
-          moved_gb = delta.Replan.moved_gb;
-        }
-        :: !replans;
-      Obs.incr "serve/daemon/replans";
-      if trigger <> "periodic" then Obs.incr "serve/daemon/fault_replans";
-      Obs.incr ~by:delta.Replan.applied "serve/daemon/deltas_applied";
-      Obs.incr ~by:delta.Replan.deferred "serve/daemon/deltas_deferred";
-      Obs.push "serve/daemon/migration_gb" delta.Replan.moved_gb;
-      Log.debug (fun m ->
-          m "replan@%.0fs (%s): applied %d, deferred %d, %.1f GB moved" t_b
-            trigger delta.Replan.applied delta.Replan.deferred
-            delta.Replan.moved_gb);
-      prev := t_b)
-    (boundaries cfg ?resil ~horizon_s ());
-  Loop.play loop metrics (Vod_workload.Trace.between trace ~t0_s:!prev ~t1_s:horizon_s);
-  Loop.finish loop metrics;
+  (* Replan.solve/restrict and Loop.play validate their inputs and can
+     raise mid-horizon; Loop.finish is idempotent, so settling the
+     capacity ledger under Fun.protect keeps the normal path
+     byte-identical while closing it on the exceptional one. *)
+  Fun.protect
+    ~finally:(fun () -> Loop.finish loop metrics)
+    (fun () ->
+      List.iter
+        (fun (t_b, trigger) ->
+          Loop.play loop metrics (Vod_workload.Trace.between trace ~t0_s:!prev ~t1_s:t_b);
+          Loop.advance loop ~now:t_b;
+          let predicted =
+            Vod_workload.Estimator.predict_at ~history_s:cfg.history_s cfg.estimator
+              catalog trace ~t0_s:t_b
+          in
+          let demand = Replan.demand problem ~t0_s:t_b predicted in
+          let incumbent = if cfg.warm_start then Some !current else None in
+          let down_vhos =
+            if cfg.react_to_faults then
+              Some (Array.init n_vhos (fun i -> not (Loop.vho_up loop i)))
+            else None
+          in
+          let report = Replan.solve ?incumbent ?down_vhos problem demand in
+          let priority =
+            Array.init n_videos (Vod_workload.Demand.video_requests demand)
+          in
+          let delta =
+            Replan.restrict ~catalog ~incumbent:!current
+              ~target:report.Vod_placement.Solve.solution ~priority
+              ~budget_gb:cfg.migration_budget_gb
+          in
+          current := delta.Replan.solution;
+          Loop.set_fleet loop (fleet_of !current);
+          replans :=
+            {
+              t_s = t_b;
+              trigger;
+              report;
+              applied = delta.Replan.applied;
+              deferred = delta.Replan.deferred;
+              moved_gb = delta.Replan.moved_gb;
+            }
+            :: !replans;
+          Obs.incr "serve/daemon/replans";
+          if trigger <> "periodic" then Obs.incr "serve/daemon/fault_replans";
+          Obs.incr ~by:delta.Replan.applied "serve/daemon/deltas_applied";
+          Obs.incr ~by:delta.Replan.deferred "serve/daemon/deltas_deferred";
+          Obs.push "serve/daemon/migration_gb" delta.Replan.moved_gb;
+          Log.debug (fun m ->
+              m "replan@%.0fs (%s): applied %d, deferred %d, %.1f GB moved" t_b
+                trigger delta.Replan.applied delta.Replan.deferred
+                delta.Replan.moved_gb);
+          prev := t_b)
+        (boundaries cfg ?resil ~horizon_s ());
+      Loop.play loop metrics
+        (Vod_workload.Trace.between trace ~t0_s:!prev ~t1_s:horizon_s));
   let replans = List.rev !replans in
   Log.info (fun m ->
       m "daemon: %d replans, %d requests, local %.1f%%, %d rejections"

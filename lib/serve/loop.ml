@@ -435,8 +435,12 @@ let run ~graph ~paths ~catalog ~fleet ~trace ?(bin_s = 300.0)
       ~horizon_s ~bin_s ~record_from ()
   in
   let t = create ~graph ~paths ~catalog ~fleet ?resil () in
-  play t metrics trace.Vod_workload.Trace.requests;
-  finish t metrics;
+  (* [play] can raise (request validation); [finish] is idempotent, so
+     settling the capacity ledger under Fun.protect keeps the normal
+     path byte-identical while closing it on the exceptional one. *)
+  Fun.protect
+    ~finally:(fun () -> finish t metrics)
+    (fun () -> play t metrics trace.Vod_workload.Trace.requests);
   Log.info (fun m ->
       m "%s: %d requests, local %.1f%%, %d rejections, peak link %.0f Mb/s"
         (Vod_cache.Fleet.name fleet) metrics.Vod_sim.Metrics.requests

@@ -22,4 +22,5 @@ let () =
       ("window-refine", Test_refine.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
+      ("proto", Test_proto.suite);
     ]

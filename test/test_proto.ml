@@ -1,0 +1,168 @@
+(* Tests for the phase-4 protocol analysis (lib/lint/cfg + proto): the
+   protocols.decl parser, the fixture modules under lib/lintfixture/
+   (each rule's fire/quiet shapes, read from disk and analyzed against
+   the test declaration they document), baseline round-trips for the new
+   rule ids, and the README rule table staying in sync with the rule
+   registries that `vodlint --rules` prints. *)
+
+module Proto = Vod_lint.Proto
+module Engine = Vod_lint.Engine
+module Baseline = Vod_lint.Baseline
+module Diagnostic = Vod_lint.Diagnostic
+
+let proto_rules = [ "proto-leak"; "proto-double-release"; "missing-protect" ]
+
+(* ---------- declaration parsing ---------- *)
+
+let decl_parses () =
+  let d =
+    Proto.decl_of_string
+      "# comment\n\
+       res acquire=Res.acquire release=Res.release handoff=Res.register \
+       bracket=Res.with_res\n\n\
+       chan acquire=open_out,open_out_bin release=close_out\n"
+  in
+  Alcotest.(check (list string))
+    "values in file order"
+    [
+      "Res.acquire";
+      "Res.release";
+      "Res.register";
+      "Res.with_res";
+      "open_out";
+      "open_out_bin";
+      "close_out";
+    ]
+    (Proto.decl_values d)
+
+let decl_errors () =
+  let expect_error name src =
+    match Proto.decl_of_string src with
+    | exception Proto.Decl_error _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Decl_error")
+  in
+  expect_error "missing release" "res acquire=Res.acquire\n";
+  expect_error "missing acquire" "res release=Res.release\n";
+  expect_error "unknown key" "res acquire=A.a release=A.b frobnicate=A.c\n";
+  expect_error "duplicate protocol"
+    "res acquire=A.a release=A.b\nres acquire=B.a release=B.b\n";
+  expect_error "empty value" "res acquire= release=A.b\n";
+  Alcotest.(check (list string))
+    "empty decl" [] (Proto.decl_values Proto.empty_decl)
+
+(* ---------- fixtures ---------- *)
+
+(* The declaration every lib/lintfixture/proto_* module documents in
+   its header. *)
+let res_decl () =
+  Proto.decl_of_string
+    "res acquire=Res.acquire release=Res.release handoff=Res.register \
+     bracket=Res.with_res\n"
+
+(* `dune runtest` runs from _build/default/test (where test/dune's deps
+   put the fixtures one level up); `dune exec` runs from the project
+   root. Resolve a root-relative path under either. *)
+let root_rel path = if Sys.file_exists path then path else Filename.concat ".." path
+
+let fixture_dir = "lib/lintfixture"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let proto_findings file =
+  let path = root_rel (Filename.concat fixture_dir file) in
+  let diags =
+    Engine.lint_project_strings ~protocols_decl:(res_decl ())
+      [ (path, read_file path) ]
+  in
+  diags
+  |> List.filter (fun d -> List.mem d.Diagnostic.rule proto_rules)
+  |> List.map (fun d -> d.Diagnostic.rule)
+  |> List.sort compare
+
+let check_fixture name expected =
+  Alcotest.(check (list string)) name expected (proto_findings name)
+
+let fixtures_fire () =
+  check_fixture "proto_leak_fire.ml"
+    [ "proto-leak"; "proto-leak"; "proto-leak" ];
+  check_fixture "proto_double_fire.ml"
+    [ "proto-double-release"; "proto-double-release" ];
+  (* missing_protect_fire relies on the interprocedural Raises summary
+     of its local [boom] helper, and the partial-handler shape. *)
+  check_fixture "missing_protect_fire.ml"
+    [ "missing-protect"; "missing-protect" ]
+
+let fixtures_quiet () =
+  check_fixture "proto_leak_quiet.ml" [];
+  check_fixture "proto_double_quiet.ml" [];
+  (* The acceptance canary: missing_protect_quiet.ml's [protected] is
+     the Fun.protect shape — deleting the wrapper turns this check red
+     (and the CI lint gate with it). *)
+  check_fixture "missing_protect_quiet.ml" []
+
+(* ---------- baseline round-trip for the new rule ids ---------- *)
+
+let baseline_roundtrip () =
+  let path = root_rel (Filename.concat fixture_dir "proto_leak_fire.ml") in
+  let diags =
+    Engine.lint_project_strings ~protocols_decl:(res_decl ())
+      [ (path, read_file path) ]
+    |> List.filter (fun d -> List.mem d.Diagnostic.rule proto_rules)
+  in
+  Alcotest.(check bool) "some findings to baseline" true (diags <> []);
+  let b = Baseline.of_diagnostics diags in
+  let b' = Baseline.of_string (Baseline.to_string b) in
+  let applied = Baseline.apply b' diags in
+  Alcotest.(check int) "all findings absorbed" (List.length diags)
+    applied.Baseline.baselined;
+  Alcotest.(check (list string)) "nothing fresh" []
+    (List.map (fun d -> d.Diagnostic.rule) applied.Baseline.fresh);
+  Alcotest.(check int) "nothing stale" 0 (List.length applied.Baseline.stale);
+  (* And against a clean run the entries all go stale. *)
+  let stale = Baseline.apply b' [] in
+  Alcotest.(check int) "entries stale on clean run" (List.length b')
+    (List.length stale.Baseline.stale)
+
+(* ---------- README rule table vs the registries ---------- *)
+
+(* `vodlint --rules` prints exactly Rules.all + Project_rules.all; the
+   README table must list the same ids with the same phases, in the
+   same order. *)
+let readme_matches_registry () =
+  let expected =
+    List.map (fun (r : Vod_lint.Rules.t) -> (r.Vod_lint.Rules.id, "file"))
+      Vod_lint.Rules.all
+    @ List.map
+        (fun (r : Vod_lint.Project_rules.t) ->
+          (r.Vod_lint.Project_rules.id, "project"))
+        Vod_lint.Project_rules.all
+  in
+  let table =
+    read_file (root_rel "README.md") |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           match String.split_on_char '|' line with
+           | "" :: id :: phase :: _ -> (
+               let id = String.trim id and phase = String.trim phase in
+               match (String.length id > 2 && id.[0] = '`', phase) with
+               | true, ("file" | "project") ->
+                   Some (String.sub id 1 (String.length id - 2), phase)
+               | _ -> None)
+           | _ -> None)
+  in
+  Alcotest.(check (list (pair string string)))
+    "README rule table = --rules registry" expected table
+
+let suite =
+  [
+    Alcotest.test_case "protocols.decl parses" `Quick decl_parses;
+    Alcotest.test_case "protocols.decl errors" `Quick decl_errors;
+    Alcotest.test_case "fixtures fire" `Quick fixtures_fire;
+    Alcotest.test_case "fixtures quiet" `Quick fixtures_quiet;
+    Alcotest.test_case "baseline round-trip" `Quick baseline_roundtrip;
+    Alcotest.test_case "README table matches registry" `Quick
+      readme_matches_registry;
+  ]

@@ -517,6 +517,41 @@ let canned_scenarios_validate () =
         (Vod_topology.Graph.reverse_link g b)
   | _ -> Alcotest.fail "expected exactly two link_down events"
 
+(* ---------- exceptional-path settlement ---------- *)
+
+(* Regression test for the missing-protect defect vodlint's protocol
+   analysis surfaced in Playout.run: when [play] raises mid-run (here an
+   out-of-range VHO rejected by Metrics.validate_vhos — the record
+   literal bypasses Trace.create's validation), the Fun.protect must
+   still settle the capacity ledger, so [finish]'s saturation gauge is
+   published on the exceptional path too. *)
+let playout_settles_on_raise () =
+  let g, paths, catalog, trace = sim_world () in
+  let bad = { Vod_workload.Trace.time_s = 0.0; vho = 99; video = 0 } in
+  let trace =
+    {
+      trace with
+      Vod_workload.Trace.requests =
+        Array.append [| bad |] trace.Vod_workload.Trace.requests;
+    }
+  in
+  let reg = Vod_obs.Obs.create () in
+  let raised = ref false in
+  (try
+     Vod_obs.Obs.with_run reg (fun () ->
+         ignore
+           (Vod_resil.Playout.run ~graph:g ~paths ~catalog
+              ~fleet:(lru_fleet paths catalog)
+              ~trace
+              (Vod_resil.Playout.config ())))
+   with Invalid_argument _ -> raised := true);
+  Alcotest.(check bool) "play raised" true !raised;
+  match Vod_obs.Obs.read reg "resil/link_saturated_seconds" with
+  | Some (Vod_obs.Obs.Gauge _) -> ()
+  | _ ->
+      Alcotest.fail
+        "resil/link_saturated_seconds must be published even when play raises"
+
 let suite =
   [
     Alcotest.test_case "schedule sorting" `Quick schedule_sorting;
@@ -535,4 +570,6 @@ let suite =
     Alcotest.test_case "surge scales load" `Quick playout_surge_scales_load;
     Alcotest.test_case "pipeline resil wiring" `Quick pipeline_resil_wiring;
     Alcotest.test_case "canned scenarios validate" `Quick canned_scenarios_validate;
+    Alcotest.test_case "playout settles ledger on raise" `Quick
+      playout_settles_on_raise;
   ]

@@ -336,6 +336,87 @@ let daemon_boundaries () =
   in
   Alcotest.(check int) "react off drops events" 3 (List.length no_react)
 
+(* ---------- exceptional-path settlement ---------- *)
+
+(* Regression tests for the missing-protect defects vodlint's protocol
+   analysis surfaced: when [play] raises mid-run, the Fun.protect in
+   [Loop.run] / [Daemon.run] must still settle the capacity ledger, so
+   [finish]'s telemetry is published on the exceptional path too. *)
+
+(* Splice one out-of-range VHO into a valid trace at [time_s];
+   Metrics.validate_vhos rejects it inside [play]. The record literal
+   deliberately bypasses Trace.create's validation. *)
+let bad_vho_trace (trace : Vod_workload.Trace.t) ~time_s =
+  let bad = { Vod_workload.Trace.time_s; vho = 99; video = 0 } in
+  let requests = Array.append trace.Vod_workload.Trace.requests [| bad |] in
+  Array.sort
+    (fun (a : Vod_workload.Trace.request) (b : Vod_workload.Trace.request) ->
+      Float.compare a.Vod_workload.Trace.time_s b.Vod_workload.Trace.time_s)
+    requests;
+  { trace with Vod_workload.Trace.requests }
+
+let check_gauge_settled reg name =
+  match Vod_obs.Obs.read reg name with
+  | Some (Vod_obs.Obs.Gauge _) -> ()
+  | _ ->
+      Alcotest.fail
+        (name ^ " must be published even when play raises mid-run")
+
+(* Loop.finish only publishes the saturation gauge in the failover
+   configuration, so run the loop with a (fault-free) resil config. *)
+let loop_settles_on_raise () =
+  let g, paths, catalog, trace = sim_world () in
+  let resil = Vod_resil.Playout.config ~link_capacity_mbps:120.0 ~origin:2 () in
+  let reg = Vod_obs.Obs.create () in
+  let raised = ref false in
+  (try
+     Vod_obs.Obs.with_run reg (fun () ->
+         ignore
+           (Vod_serve.Loop.run ~graph:g ~paths ~catalog
+              ~fleet:(lru_fleet paths catalog)
+              ~trace:(bad_vho_trace trace ~time_s:0.0)
+              ~resil ()))
+   with Invalid_argument _ -> raised := true);
+  Alcotest.(check bool) "play raised" true !raised;
+  check_gauge_settled reg "serve/link_saturated_seconds"
+
+(* The bad request sits at day 9.5 — past the last replan boundary (day
+   9), so every demand window and predict slice stays valid and only the
+   final play inside the daemon's Fun.protect sees it. *)
+let daemon_settles_on_raise () =
+  let sc = daemon_scenario () in
+  let cfg =
+    P.default_config ~scenario:sc
+      ~disk_gb:(Vod_core.Scenario.uniform_disk sc ~multiple:2.5)
+      ~link_capacity_mbps:500.0
+  in
+  let trace =
+    bad_vho_trace sc.Vod_core.Scenario.trace
+      ~time_s:(9.5 *. Vod_workload.Trace.seconds_per_day)
+  in
+  let resil = Vod_resil.Playout.config ~link_capacity_mbps:500.0 () in
+  let daemon_cfg =
+    {
+      Vod_serve.Daemon.default_config with
+      Vod_serve.Daemon.update_every_s = Vod_workload.Trace.seconds_per_day;
+      Vod_serve.Daemon.warm_start = false;
+      Vod_serve.Daemon.react_to_faults = false;
+    }
+  in
+  let reg = Vod_obs.Obs.create () in
+  let raised = ref false in
+  (try
+     Vod_obs.Obs.with_run reg (fun () ->
+         ignore
+           (Vod_serve.Daemon.run ~graph:sc.Vod_core.Scenario.graph
+              ~paths:sc.Vod_core.Scenario.paths
+              ~catalog:sc.Vod_core.Scenario.catalog ~trace
+              ~problem:(P.replan_problem cfg fast_mip)
+              ~resil daemon_cfg))
+   with Invalid_argument _ -> raised := true);
+  Alcotest.(check bool) "play raised" true !raised;
+  check_gauge_settled reg "serve/link_saturated_seconds"
+
 let suite =
   [
     Alcotest.test_case "loop matches legacy sim" `Quick loop_matches_legacy_sim;
@@ -348,4 +429,8 @@ let suite =
     Alcotest.test_case "predict_at matches predict" `Quick
       predict_at_matches_predict;
     Alcotest.test_case "daemon boundaries" `Quick daemon_boundaries;
+    Alcotest.test_case "loop settles ledger on raise" `Quick
+      loop_settles_on_raise;
+    Alcotest.test_case "daemon settles ledger on raise" `Slow
+      daemon_settles_on_raise;
   ]

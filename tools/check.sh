@@ -18,11 +18,12 @@ if command -v odoc >/dev/null 2>&1; then
 else
   echo "   (odoc not installed; skipping — CI runs this step)"
 fi
-echo "== dune build @lint (project mode: effect + units/hot-path analysis) =="
+echo "== dune build @lint (project mode: effect + units/hot-path + protocol analysis) =="
 dune build @lint
 echo "== vodlint --project (explicit, against the checked-in baseline) =="
 dune exec --no-print-directory bin/vodlint.exe -- --project \
-  --baseline .vodlint-baseline --units-decl units.decl --forbid-stale
+  --baseline .vodlint-baseline --units-decl units.decl \
+  --protocols-decl protocols.decl --forbid-stale
 echo "== units.decl stale-declaration check =="
 # Every `Module.name` declared in units.decl must still exist as a
 # `val name` in the module's .mli somewhere under lib/ — otherwise the
@@ -43,6 +44,27 @@ for qual in $(grep -vE '^[[:space:]]*(#|$)' units.decl | awk '{print $1}'); do
   fi
 done
 [ "$decl_status" -eq 0 ] || exit 1
+echo "== protocols.decl stale-declaration check =="
+# Same contract for the protocol declarations: every qualified
+# `Module.name` appearing in an acquire=/release=/handoff=/bracket=
+# field must still exist as a `val name` in the module's .mli under
+# lib/. Dotless names (open_out, close_in, ...) are stdlib and exempt.
+proto_status=0
+for qual in $(grep -vE '^[[:space:]]*(#|$)' protocols.decl \
+  | tr ' \t' '\n\n' | grep '=' | cut -d= -f2 | tr ',' '\n' | grep '\.'); do
+  mod=${qual%%.*}
+  name=${qual#*.}
+  file=$(printf '%s' "$mod" | tr 'A-Z' 'a-z').mli
+  mli=$(find lib -name "$file" | head -n 1)
+  if [ -z "$mli" ]; then
+    echo "FAIL: protocols.decl declares '$qual' but no $file exists under lib/" >&2
+    proto_status=1
+  elif ! grep -qE "^[[:space:]]*val[[:space:]]+$name[[:space:]:]" "$mli"; then
+    echo "FAIL: protocols.decl declares '$qual' but $mli has no 'val $name'" >&2
+    proto_status=1
+  fi
+done
+[ "$proto_status" -eq 0 ] || exit 1
 echo "== EPF determinism smoke: --jobs 1 vs --jobs 4 =="
 # A small end-to-end solve must produce byte-identical output at any
 # job count (the pool's determinism contract). The "time" line is the
