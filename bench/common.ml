@@ -3,20 +3,42 @@
    of the paper's figures or tables (see DESIGN.md's experiment index);
    EXPERIMENTS.md records paper-vs-measured values. *)
 
-type scale = Quick | Default | Full
+type scale = Quick | Default | Full | Huge
 
 let scale =
   match Sys.getenv_opt "VOD_SCALE" with
   | Some "quick" -> Quick
   | Some "full" -> Full
+  | Some "huge" -> Huge
   | Some _ | None -> Default
+
+let scale_name =
+  match scale with
+  | Quick -> "quick"
+  | Default -> "default"
+  | Full -> "full"
+  | Huge -> "huge"
 
 (* Library size used by the simulation-driven experiments. The paper
    plays a month of an operational trace against 55 VHOs; we scale the
    synthetic trace so that a solve takes seconds and the playout minutes
-   on one core. *)
+   on one core. The huge tier keeps the comparative exhibits at the full
+   size — its million-video end-to-end run is a dedicated exhibit
+   (exp_scaling) over the compact struct-of-arrays store, not a scaling
+   of every figure. *)
 let sim_videos =
-  match scale with Quick -> 600 | Default -> 2000 | Full -> 5000
+  match scale with Quick -> 600 | Default -> 2000 | Full | Huge -> 5000
+
+(* The huge tier's catalog: a million videos, the paper's "very large
+   library" regime (Sec. VIII discusses libraries of this order). *)
+let huge_videos = 1_000_000
+
+(* Upper bisection bound for minimum-feasible-link-capacity searches
+   (Table V and friends). Demand grows with the tier's request volume,
+   so the bound — and the ">BOUND" infeasibility label derived from it —
+   scales with the tier instead of hard-coding one ceiling. *)
+let feasibility_hi_mbps =
+  match scale with Quick | Default | Full -> 200_000.0 | Huge -> 2_000_000.0
 
 let requests_per_video_per_day = 13.0
 

@@ -10,7 +10,7 @@
    epsilon-feasibility, wall time, objective and violation. *)
 
 let ablation_videos =
-  match Common.scale with Quick -> 400 | Default -> 1200 | Full -> 3000
+  match Common.scale with Quick -> 400 | Default -> 1200 | Full | Huge -> 3000
 
 let instance () =
   let sc = Common.backbone_scenario ~n_videos:ablation_videos () in

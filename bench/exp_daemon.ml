@@ -13,7 +13,7 @@ let videos =
   match Common.scale with
   | Common.Quick -> 250
   | Common.Default -> 600
-  | Common.Full -> 1500
+  | Common.Full | Common.Huge -> 1500
 
 let days = 10
 let warmup_days = 3

@@ -9,7 +9,7 @@
               size on the three RocketFuel-scale networks at 2x disk. *)
 
 let feasibility_videos =
-  match Common.scale with Quick -> 400 | Default -> 1000 | Full -> 2500
+  match Common.scale with Quick -> 400 | Default -> 1000 | Full | Huge -> 2500
 
 let fig11_region () =
   Common.section "Fig. 11 — feasibility region (min disk multiple vs link capacity)";
@@ -97,7 +97,7 @@ let fig13_library_growth () =
     match Common.scale with
     | Quick -> [ 300; 600 ]
     | Default -> [ 500; 1000; 2000 ]
-    | Full -> [ 1000; 2000; 5000; 10_000 ]
+    | Full | Huge -> [ 1000; 2000; 5000; 10_000 ]
   in
   let networks =
     [

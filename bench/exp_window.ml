@@ -10,7 +10,7 @@
    spot. *)
 
 let window_videos =
-  match Common.scale with Quick -> 400 | Default -> 1000 | Full -> 2500
+  match Common.scale with Quick -> 400 | Default -> 1000 | Full | Huge -> 2500
 
 let run () =
   Common.section "Table V — peak window size vs bandwidth";
@@ -31,10 +31,12 @@ let run () =
         in
         let feas_cap =
           Vod_placement.Feasibility.min_link_capacity ~params:Common.probe_params
-            ~lo:5.0 ~hi:200_000.0 ~tol:0.1 ~graph ~catalog ~demand ~disk_gb:disk ()
+            ~lo:5.0 ~hi:Common.feasibility_hi_mbps ~tol:0.1 ~graph ~catalog
+            ~demand ~disk_gb:disk ()
         in
         match feas_cap with
-        | None -> [ label; ">200000"; "-"; "-" ]
+        | None ->
+            [ label; Printf.sprintf ">%.0f" Common.feasibility_hi_mbps; "-"; "-" ]
         | Some cap ->
             (* Solve at that capacity and play out the same week. *)
             let inst =

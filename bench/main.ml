@@ -8,8 +8,9 @@
      dune exec bench/main.exe -- fig5 table3 ...
 
    Experiment ids: fig2 fig3 fig4 fig5 (covers figs 5-9) fig10 (+table2)
-   fig11 fig12 fig13 table3 table4 table5 table6 micro.
-   Scale via VOD_SCALE=quick|default|full.
+   fig11 fig12 fig13 table3 (alias: scaling) table4 table5 table6 micro.
+   Scale via VOD_SCALE=quick|default|full|huge; the huge tier adds a
+   million-video end-to-end run to the scaling exhibit.
 
    --checkpoint DIR  writes each exhibit's console section and metrics
    JSON as it completes and skips already-completed exhibits on the
@@ -25,7 +26,7 @@ let available =
     ("fig11", "feasibility region");
     ("fig12", "complementary cache sweep");
     ("fig13", "link capacity vs library size");
-    ("table3", "solver scaling vs simplex reference");
+    ("table3", "solver scaling vs simplex reference (alias: scaling; huge tier adds the 1M-video end-to-end run)");
     ("table4", "topology vs link capacity");
     ("table5", "peak window size");
     ("table6", "update frequency / estimation accuracy");
@@ -100,7 +101,8 @@ let () =
         List.exists
           (fun a ->
             a = name
-            || (a = "trace" && List.mem name [ "fig2"; "fig3"; "fig4" ]))
+            || (a = "trace" && List.mem name [ "fig2"; "fig3"; "fig4" ])
+            || (a = "scaling" && name = "table3"))
           args
   in
   if List.mem "--help" args || List.mem "-h" args then begin
@@ -116,22 +118,28 @@ let () =
       "  --faults CSV      'failure' exhibit: replay this fault schedule instead of the canned ones";
     print_endline
       "  --link-capacity M 'failure' exhibit: playout link budget in Mb/s (default: calibrated)";
+    print_endline
+      "  VOD_SCALE=quick|default|full|huge  scale tier (wall-clock/RSS per tier: EXPERIMENTS.md)";
     List.iter (fun (n, d) -> Printf.printf "  %-8s %s\n" n d) available;
     exit 0
   end;
   Common.note "jobs=%d | VOD_SCALE=%s | library %d videos | %d days | %.0f req/video/day"
     (Vod_util.Pool.default_jobs ())
-    (match Common.scale with
-    | Common.Quick -> "quick"
-    | Common.Default -> "default"
-    | Common.Full -> "full")
-    Common.sim_videos Common.days Common.requests_per_video_per_day;
+    Common.scale_name Common.sim_videos Common.days
+    Common.requests_per_video_per_day;
   let scenario = lazy (Common.backbone_scenario ()) in
   let run_all () =
     let ran = ref 0 in
     let run_if name f =
       if wants name then begin
         incr ran;
+        (* Sample the RSS high-water mark at every exhibit boundary
+           (last write wins, so the final value is the run's true peak);
+           sampled inside [f] so checkpointed exhibit registries carry
+           their own peak too. *)
+        let f () =
+          Fun.protect ~finally:Vod_obs.Memstat.sample_peak_rss f
+        in
         match !checkpoint_dir with
         | None ->
             (* Same phase key the checkpointed path records, so

@@ -125,11 +125,12 @@ let graph_of ~topology ~topology_file =
       | "ebone" -> Vod_topology.Topologies.ebone ()
       | _ -> Vod_topology.Topologies.backbone55 ())
 
-let scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () =
+let scenario_of ?topology_file ?trace_file ?soa ~topology ~videos ~days ~rpv
+    ~seed () =
   let graph = graph_of ~topology ~topology_file in
   let sc =
-    Vod_core.Scenario.make ~days ~requests_per_video_per_day:rpv ~seed ~graph
-      ~n_videos:videos ()
+    Vod_core.Scenario.make ~days ~requests_per_video_per_day:rpv ~seed ?soa
+      ~graph ~n_videos:videos ()
   in
   match trace_file with
   | None -> sc
@@ -250,6 +251,13 @@ let origin_t =
     & info [ "origin" ] ~docv:"VHO"
         ~doc:"Last-resort origin server for failover routing (holds the full library).")
 
+let soa_t =
+  Arg.(
+    value & flag
+    & info [ "soa" ]
+        ~doc:
+          "Generate and play through the compact struct-of-arrays request store (16 bytes/request, off-heap). Output is byte-identical to the default array-backed path; this is the memory profile the million-video $(b,huge) bench tier uses.")
+
 (* --faults SPEC: canned scenario name (optionally ":VHO") or a CSV path. *)
 let schedule_of_spec sc spec =
   let name, target =
@@ -275,10 +283,13 @@ let schedule_of_spec sc spec =
         spec
 
 let simulate topology topology_file trace_file videos days rpv seed disk link passes
-    scheme faults playout_link origin verbose jobs metrics =
+    scheme faults playout_link origin soa verbose jobs metrics =
   setup_logs verbose jobs;
   with_metrics metrics @@ fun () ->
-  let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
+  let sc =
+    scenario_of ?topology_file ?trace_file ~soa ~topology ~videos ~days ~rpv
+      ~seed ()
+  in
   let resil =
     match (faults, playout_link, origin) with
     | None, None, None -> None
@@ -299,6 +310,7 @@ let simulate topology topology_file trace_file videos days rpv seed disk link pa
          ~link_capacity_mbps:link)
       with
       Vod_core.Pipeline.resil;
+      soa;
     }
   in
   let mip =
@@ -512,7 +524,7 @@ let simulate_cmd =
     Term.(
       const simulate $ topology_t $ topology_file_t $ trace_file_t $ videos_t
       $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ scheme_t $ faults_t
-      $ playout_link_t $ origin_t $ verbose_t $ jobs_t $ metrics_t)
+      $ playout_link_t $ origin_t $ soa_t $ verbose_t $ jobs_t $ metrics_t)
 
 let serve_cmd =
   Cmd.v

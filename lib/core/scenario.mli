@@ -10,11 +10,18 @@ type t = {
 }
 
 (** Build a scenario over an arbitrary graph. Defaults: 28 days, 5
-    requests per video per day. *)
+    requests per video per day. [soa] routes trace generation through
+    the windowed struct-of-arrays builder
+    ([Vod_workload.Tracegen.generate_soa], bounded staging) — the
+    resulting trace is row-for-row identical. [jobs] shards per-day
+    generation over a domain pool (0 = process default); bit-identical
+    at any job count. *)
 val make :
   ?days:int ->
   ?requests_per_video_per_day:float ->
   ?seed:int ->
+  ?soa:bool ->
+  ?jobs:int ->
   graph:Vod_topology.Graph.t ->
   n_videos:int ->
   unit ->
@@ -25,6 +32,8 @@ val backbone :
   ?days:int ->
   ?requests_per_video_per_day:float ->
   ?seed:int ->
+  ?soa:bool ->
+  ?jobs:int ->
   n_videos:int ->
   unit ->
   t

@@ -1,0 +1,41 @@
+(* Process-memory readings from /proc/self/status. The fields of
+   interest render as e.g. "VmHWM:    123456 kB"; absent file or field
+   (non-Linux) degrades to None. *)
+
+let field_bytes key =
+  match In_channel.with_open_text "/proc/self/status" (fun ic ->
+            let prefix = key ^ ":" in
+            let rec scan () =
+              match In_channel.input_line ic with
+              | None -> None
+              | Some line ->
+                  if String.starts_with ~prefix line then
+                    (* "<key>:  <n> kB" — take the numeric token. *)
+                    let rest =
+                      String.sub line (String.length prefix)
+                        (String.length line - String.length prefix)
+                    in
+                    let tokens =
+                      String.split_on_char ' ' (String.trim rest)
+                      |> List.filter (fun s -> s <> "")
+                    in
+                    (match tokens with
+                    | kb :: _ ->
+                        Option.map (fun n -> n * 1024) (int_of_string_opt kb)
+                    | [] -> None)
+                  else scan ()
+            in
+            scan ())
+  with
+  | v -> v
+  | exception Sys_error _ -> None
+
+let peak_rss_bytes () = field_bytes "VmHWM"
+
+let rss_bytes () = field_bytes "VmRSS"
+
+let sample_peak_rss () =
+  if Obs.active () then
+    match peak_rss_bytes () with
+    | Some bytes -> Obs.set_gauge "mem/peak_rss_bytes" (float_of_int bytes)
+    | None -> ()

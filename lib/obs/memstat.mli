@@ -1,0 +1,22 @@
+(** Process-memory readings for the benchmark harness's [mem/*] gauges.
+
+    Linux-only by data source: values come from [/proc/self/status]
+    ([VmHWM] = peak resident set, [VmRSS] = current resident set). On
+    platforms without procfs every reader returns [None] and
+    {!sample_peak_rss} is a no-op — callers need no platform gate.
+
+    Like the wall clock, resident-set sizes are scheduling- and
+    allocator-dependent: the [mem/*] gauges are exempt from the
+    jobs-invariance contract exactly as [*_seconds] metrics are
+    (METRICS.md, "Jobs invariance"). *)
+
+val peak_rss_bytes : unit -> int option
+(** High-water-mark resident set size of this process, in bytes. *)
+
+val rss_bytes : unit -> int option
+(** Current resident set size of this process, in bytes. *)
+
+val sample_peak_rss : unit -> unit
+(** Set the [mem/peak_rss_bytes] gauge to {!peak_rss_bytes} (last write
+    wins, so sampling at every phase boundary leaves the run's true
+    high-water mark). No-op when metrics are off or procfs is absent. *)

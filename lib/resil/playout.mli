@@ -51,6 +51,21 @@ val play :
   Vod_workload.Trace.request array ->
   unit
 
+(** Columnar twin of {!play}: rows [[lo, hi)) of a compact
+    struct-of-arrays store, iterated by index with the per-request
+    ref/closure pair replaced by batch-level scratch — the request loop
+    allocates nothing. Byte-identical metrics to {!play} on the
+    equivalent request slice. *)
+val play_soa :
+  t ->
+  Vod_sim.Metrics.t ->
+  Vod_workload.Catalog.t ->
+  Vod_cache.Fleet.t ->
+  Vod_workload.Trace_soa.t ->
+  lo:int ->
+  hi:int ->
+  unit
+
 (** Drain the remaining schedule, close saturation intervals, publish
     end-of-run degradation gauges and the final window. Idempotent;
     call once after the last [play] batch. *)
@@ -66,6 +81,18 @@ val run :
   catalog:Vod_workload.Catalog.t ->
   fleet:Vod_cache.Fleet.t ->
   trace:Vod_workload.Trace.t ->
+  ?bin_s:float ->
+  ?record_from:float ->
+  config ->
+  Vod_sim.Metrics.t * window list
+
+(** One-shot playout of a full compact store (columnar twin of {!run}). *)
+val run_soa :
+  graph:Vod_topology.Graph.t ->
+  paths:Vod_topology.Paths.t ->
+  catalog:Vod_workload.Catalog.t ->
+  fleet:Vod_cache.Fleet.t ->
+  store:Vod_workload.Trace_soa.t ->
   ?bin_s:float ->
   ?record_from:float ->
   config ->

@@ -238,6 +238,69 @@ let play_direct t metrics (requests : Vod_workload.Trace.request array) =
       end)
     requests
 
+(* Columnar twin of [play_direct]: rows [lo, hi) of a struct-of-arrays
+   store, iterated by index — no boxed request, no per-row closure, the
+   same serve call and float operation order, so the metrics are
+   byte-for-byte those of [play_direct] on the equivalent slice
+   (asserted by test/test_soa.ml). Kept field-for-field in sync with
+   [play_direct] above. *)
+let play_direct_soa t metrics (soa : Vod_workload.Trace_soa.t) ~lo ~hi =
+  let track_per_vho =
+    Array.length metrics.Vod_sim.Metrics.per_vho_requests > 0
+  in
+  for i = lo to hi - 1 do
+    let now = Vod_workload.Trace_soa.time soa i in
+    let video = Vod_workload.Trace_soa.video soa i in
+    let vho = Vod_workload.Trace_soa.vho soa i in
+    let outcome = Vod_cache.Fleet.serve t.fleet ~video ~vho ~now in
+    let record = Vod_sim.Metrics.in_record_window metrics now in
+    if record then begin
+      metrics.Vod_sim.Metrics.requests <- metrics.Vod_sim.Metrics.requests + 1;
+      if track_per_vho then
+        metrics.Vod_sim.Metrics.per_vho_requests.(vho) <-
+          metrics.Vod_sim.Metrics.per_vho_requests.(vho) + 1;
+      if outcome.Vod_cache.Fleet.local then begin
+        metrics.Vod_sim.Metrics.local_served <-
+          metrics.Vod_sim.Metrics.local_served + 1;
+        if track_per_vho then
+          metrics.Vod_sim.Metrics.per_vho_local.(vho) <-
+            metrics.Vod_sim.Metrics.per_vho_local.(vho) + 1;
+        if outcome.Vod_cache.Fleet.cache_hit then
+          metrics.Vod_sim.Metrics.cache_hits <-
+            metrics.Vod_sim.Metrics.cache_hits + 1
+      end
+      else begin
+        metrics.Vod_sim.Metrics.remote_served <-
+          metrics.Vod_sim.Metrics.remote_served + 1;
+        if outcome.Vod_cache.Fleet.not_cachable then
+          metrics.Vod_sim.Metrics.not_cachable <-
+            metrics.Vod_sim.Metrics.not_cachable + 1
+      end
+    end;
+    if not outcome.Vod_cache.Fleet.local then begin
+      let server = outcome.Vod_cache.Fleet.server in
+      let v = Vod_workload.Catalog.video t.catalog video in
+      let rate = Vod_workload.Video.rate_mbps v in
+      let dur = Vod_workload.Video.duration_s v in
+      let links = Vod_topology.Paths.path_links t.paths ~src:server ~dst:vho in
+      let t1 = now +. dur in
+      for l = 0 to Array.length links - 1 do
+        Vod_sim.Metrics.add_stream metrics ~link:links.(l) ~rate_mbps:rate
+          ~t0:now ~t1
+      done;
+      if record then begin
+        let hops =
+          float_of_int (Vod_topology.Paths.hops t.paths ~src:server ~dst:vho)
+        in
+        let gb = Vod_workload.Video.size_gb v in
+        metrics.Vod_sim.Metrics.total_gb_hops <-
+          metrics.Vod_sim.Metrics.total_gb_hops +. (gb *. hops);
+        metrics.Vod_sim.Metrics.total_gb_remote <-
+          metrics.Vod_sim.Metrics.total_gb_remote +. gb
+      end
+    end
+  done
+
 (* ---- faulted configuration ------------------------------------------- *)
 
 let reject_obs reason =
@@ -384,6 +447,118 @@ let play_faulted t f metrics (requests : Vod_workload.Trace.request array) =
       end)
     requests
 
+(* Columnar twin of [play_faulted]: rows [lo, hi) of a struct-of-arrays
+   store by index. The scratch fields and prebuilt [f.route]/[f.on_event]
+   closures already make the boxed loop allocation-free per request;
+   here the boxed request itself goes too. Kept field-for-field in sync
+   with [play_faulted] above. *)
+let play_faulted_soa t f metrics (soa : Vod_workload.Trace_soa.t) ~lo ~hi =
+  let track_per_vho =
+    Array.length metrics.Vod_sim.Metrics.per_vho_requests > 0
+  in
+  let deg = metrics.Vod_sim.Metrics.deg in
+  for i = lo to hi - 1 do
+    let now = Vod_workload.Trace_soa.time soa i in
+    let video = Vod_workload.Trace_soa.video soa i in
+    let vho = Vod_workload.Trace_soa.vho soa i in
+    ignore (State.advance f.state ~now ~on_event:f.on_event : int);
+    Capacity.expire f.capacity ~now;
+    let record = Vod_sim.Metrics.in_record_window metrics now in
+    if record then f.win_requests <- f.win_requests + 1;
+    if not (State.vho_up f.state vho) then begin
+      (* The requesting VHO is dark: nobody there to serve. *)
+      if record then begin
+        count_request metrics ~track_per_vho ~vho;
+        account_reject metrics Router.Vho_down;
+        f.win_rejections <- f.win_rejections + 1
+      end
+    end
+    else begin
+      let v = Vod_workload.Catalog.video t.catalog video in
+      let surge = State.surge f.state vho in
+      let rate = Vod_workload.Video.rate_mbps v *. surge in
+      let dur = Vod_workload.Video.duration_s v in
+      f.cur_video <- video;
+      f.cur_vho <- vho;
+      f.cur_rate <- rate;
+      f.cur_now <- now;
+      f.cur_until <- now +. dur;
+      f.decision <- Router.Rejected Router.No_replica;
+      match
+        Vod_cache.Fleet.serve_routed t.fleet ~video ~vho ~now ~route:f.route
+      with
+      | Some outcome ->
+          if record then begin
+            count_request metrics ~track_per_vho ~vho;
+            if outcome.Vod_cache.Fleet.local then begin
+              metrics.Vod_sim.Metrics.local_served <-
+                metrics.Vod_sim.Metrics.local_served + 1;
+              if track_per_vho then
+                metrics.Vod_sim.Metrics.per_vho_local.(vho) <-
+                  metrics.Vod_sim.Metrics.per_vho_local.(vho) + 1;
+              if outcome.Vod_cache.Fleet.cache_hit then
+                metrics.Vod_sim.Metrics.cache_hits <-
+                  metrics.Vod_sim.Metrics.cache_hits + 1
+            end
+            else begin
+              metrics.Vod_sim.Metrics.remote_served <-
+                metrics.Vod_sim.Metrics.remote_served + 1;
+              if outcome.Vod_cache.Fleet.not_cachable then
+                metrics.Vod_sim.Metrics.not_cachable <-
+                  metrics.Vod_sim.Metrics.not_cachable + 1
+            end
+          end;
+          if not outcome.Vod_cache.Fleet.local then begin
+            match f.decision with
+            | Router.Served s ->
+                let t1 = now +. dur in
+                let links = s.Router.links in
+                for l = 0 to Array.length links - 1 do
+                  Vod_sim.Metrics.add_stream metrics ~link:links.(l)
+                    ~rate_mbps:rate ~t0:now ~t1
+                done;
+                if record then begin
+                  let hops = float_of_int s.Router.hops in
+                  let gb = Vod_workload.Video.size_gb v *. surge in
+                  metrics.Vod_sim.Metrics.total_gb_hops <-
+                    metrics.Vod_sim.Metrics.total_gb_hops +. (gb *. hops);
+                  metrics.Vod_sim.Metrics.total_gb_remote <-
+                    metrics.Vod_sim.Metrics.total_gb_remote +. gb;
+                  if surge > 1.0 then Obs.incr "serve/surged_streams";
+                  if s.Router.failover then begin
+                    deg.Vod_sim.Metrics.failovers <-
+                      deg.Vod_sim.Metrics.failovers + 1;
+                    deg.Vod_sim.Metrics.failover_extra_hops <-
+                      deg.Vod_sim.Metrics.failover_extra_hops
+                      + s.Router.extra_hops;
+                    f.win_failovers <- f.win_failovers + 1;
+                    Obs.incr "serve/failovers";
+                    if s.Router.extra_hops > 0 then
+                      Obs.incr ~by:s.Router.extra_hops
+                        "serve/failover_extra_hops"
+                  end;
+                  if s.Router.via_origin then begin
+                    deg.Vod_sim.Metrics.origin_served <-
+                      deg.Vod_sim.Metrics.origin_served + 1;
+                    Obs.incr "serve/origin_served"
+                  end
+                end
+            | Router.Rejected _ ->
+                (* serve_routed returned an outcome, so route said yes *)
+                invalid_arg "Loop.play_soa: served without a routing decision"
+          end
+      | None ->
+          if record then begin
+            count_request metrics ~track_per_vho ~vho;
+            (match f.decision with
+            | Router.Rejected reason -> account_reject metrics reason
+            | Router.Served _ ->
+                invalid_arg "Loop.play_soa: rejected with a serving decision");
+            f.win_rejections <- f.win_rejections + 1
+          end
+    end
+  done
+
 (* ---- common entry points --------------------------------------------- *)
 
 let play t metrics (requests : Vod_workload.Trace.request array) =
@@ -393,6 +568,17 @@ let play t metrics (requests : Vod_workload.Trace.request array) =
   match t.faulted with
   | None -> play_direct t metrics requests
   | Some f -> play_faulted t f metrics requests
+
+(* Columnar entry point: play rows [lo, hi) of a compact store through
+   whichever configuration the loop was created with. *)
+let play_soa t metrics (soa : Vod_workload.Trace_soa.t) ~lo ~hi =
+  if lo < 0 || hi < lo || hi > Vod_workload.Trace_soa.length soa then
+    invalid_arg "Loop.play_soa: range out of bounds";
+  Vod_sim.Metrics.validate_store metrics soa;
+  if Obs.active () then Obs.incr ~by:(hi - lo) "serve/requests";
+  match t.faulted with
+  | None -> play_direct_soa t metrics soa ~lo ~hi
+  | Some f -> play_faulted_soa t f metrics soa ~lo ~hi
 
 (* Drain the remaining schedule, close saturation intervals and the last
    window, and publish the end-of-run gauges. Idempotent; a no-op in the
@@ -441,6 +627,33 @@ let run ~graph ~paths ~catalog ~fleet ~trace ?(bin_s = 300.0)
   Fun.protect
     ~finally:(fun () -> finish t metrics)
     (fun () -> play t metrics trace.Vod_workload.Trace.requests);
+  Log.info (fun m ->
+      m "%s: %d requests, local %.1f%%, %d rejections, peak link %.0f Mb/s"
+        (Vod_cache.Fleet.name fleet) metrics.Vod_sim.Metrics.requests
+        (100.0 *. Vod_sim.Metrics.local_fraction metrics)
+        metrics.Vod_sim.Metrics.deg.Vod_sim.Metrics.rejections
+        (Vod_sim.Metrics.max_link_mbps metrics));
+  (metrics, windows t)
+
+(* Columnar twin of [run]: one-shot playout of a full compact store. *)
+let run_soa ~graph ~paths ~catalog ~fleet ~store ?(bin_s = 300.0)
+    ?(record_from = 0.0) ?resil () =
+  let horizon_s =
+    float_of_int store.Vod_workload.Trace_soa.days
+    *. Vod_workload.Trace.seconds_per_day
+  in
+  let metrics =
+    Vod_sim.Metrics.create
+      ~n_links:(Vod_topology.Graph.n_links graph)
+      ~n_vhos:(Vod_topology.Graph.n_nodes graph)
+      ~horizon_s ~bin_s ~record_from ()
+  in
+  let t = create ~graph ~paths ~catalog ~fleet ?resil () in
+  Fun.protect
+    ~finally:(fun () -> finish t metrics)
+    (fun () ->
+      play_soa t metrics store ~lo:0
+        ~hi:(Vod_workload.Trace_soa.length store));
   Log.info (fun m ->
       m "%s: %d requests, local %.1f%%, %d rejections, peak link %.0f Mb/s"
         (Vod_cache.Fleet.name fleet) metrics.Vod_sim.Metrics.requests

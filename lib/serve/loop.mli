@@ -49,6 +49,15 @@ val advance : t -> now:float -> unit
 val play :
   t -> Vod_sim.Metrics.t -> Vod_workload.Trace.request array -> unit
 
+(** Columnar twin of {!play}: rows [[lo, hi)) of a compact
+    struct-of-arrays store, iterated by index with no boxed request and
+    no per-row closure in either configuration. Byte-identical metrics
+    to {!play} on the equivalent request slice (asserted by
+    test/test_soa.ml). Raises [Invalid_argument] on a bad range or a
+    store whose VHO bound exceeds the metrics arrays. *)
+val play_soa :
+  t -> Vod_sim.Metrics.t -> Vod_workload.Trace_soa.t -> lo:int -> hi:int -> unit
+
 (** Drain the remaining fault schedule up to the metrics horizon, close
     saturation intervals and the final window, publish end-of-run
     gauges. Idempotent; a no-op in the direct configuration. *)
@@ -66,6 +75,19 @@ val run :
   catalog:Vod_workload.Catalog.t ->
   fleet:Vod_cache.Fleet.t ->
   trace:Vod_workload.Trace.t ->
+  ?bin_s:float ->
+  ?record_from:float ->
+  ?resil:Vod_resil.Playout.config ->
+  unit ->
+  Vod_sim.Metrics.t * Vod_resil.Playout.window list
+
+(** One-shot playout of a full compact store (columnar twin of {!run}). *)
+val run_soa :
+  graph:Vod_topology.Graph.t ->
+  paths:Vod_topology.Paths.t ->
+  catalog:Vod_workload.Catalog.t ->
+  fleet:Vod_cache.Fleet.t ->
+  store:Vod_workload.Trace_soa.t ->
   ?bin_s:float ->
   ?record_from:float ->
   ?resil:Vod_resil.Playout.config ->

@@ -87,6 +87,17 @@ let validate_vhos t requests =
                r.Vod_workload.Trace.vho n))
       requests
 
+(* O(1) store-level counterpart: construction already bounds-checked
+   every row against the store's own [n_vhos]. *)
+let validate_store t (soa : Vod_workload.Trace_soa.t) =
+  let n = Array.length t.per_vho_requests in
+  if n > 0 && soa.Vod_workload.Trace_soa.n_vhos > n then
+    invalid_arg
+      (Printf.sprintf
+         "Metrics.validate_store: store allows VHOs up to %d, counters stop at %d"
+         (soa.Vod_workload.Trace_soa.n_vhos - 1)
+         (n - 1))
+
 (* Spread a stream of [rate_mbps] over [t0, t1) into the link's bins. *)
 let add_stream t ~link ~rate_mbps ~t0 ~t1 =
   let t0 = Float.max t0 t.record_from in

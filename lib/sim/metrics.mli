@@ -55,6 +55,12 @@ val in_record_window : t -> float -> bool
     no-op when the metrics were created without [n_vhos]. *)
 val validate_vhos : t -> Vod_workload.Trace.request array -> unit
 
+(** Store-level counterpart of {!validate_vhos}: every row of a
+    {!Vod_workload.Trace_soa.t} was bounds-checked against its own
+    [n_vhos] at construction, so validating the store bound against the
+    counter arrays is O(1) and equivalent. *)
+val validate_store : t -> Vod_workload.Trace_soa.t -> unit
+
 (** Spread a stream of [rate_mbps] over [t0, t1) into a link's bins
     (overlap-weighted). *)
 val add_stream : t -> link:int -> rate_mbps:float -> t0:float -> t1:float -> unit

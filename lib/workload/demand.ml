@@ -61,6 +61,83 @@ let of_requests (catalog : Catalog.t) ~n_vhos ~day0 ~days ~n_windows ~window_s
   let total_requests = float_of_int (Trace.length trace) in
   { n_videos; n_vhos; a; f; windows; total_requests }
 
+(* Columnar variant of [of_requests]: same rebase/clamp semantics, same
+   peak-window selection (bin counts sorted with the identical
+   comparator, one window per day), same sparse extraction — but
+   iterating the Bigarray columns of a store slice [lo, hi), so no boxed
+   request batch is ever staged. Produces a value equal to
+   [of_requests] on [Trace_soa.window_requests soa ~lo ~hi] (asserted
+   by test/test_soa.ml). *)
+let of_soa (catalog : Catalog.t) ~n_vhos ~day0 ~days ~n_windows ~window_s
+    (soa : Trace_soa.t) ~lo ~hi =
+  if lo < 0 || hi < lo || hi > Trace_soa.length soa then
+    invalid_arg "Demand.of_soa: range out of bounds";
+  if window_s <= 0.0 then invalid_arg "Demand.of_soa: window_s must be positive";
+  if soa.Trace_soa.n_vhos > n_vhos then
+    invalid_arg "Demand.of_soa: store VHO ids exceed n_vhos";
+  let base = float_of_int day0 *. Trace.seconds_per_day in
+  let horizon = float_of_int days *. Trace.seconds_per_day in
+  let n_videos = Catalog.n_videos catalog in
+  (* One pass: aggregate (video, vho) counts plus per-bin volumes. *)
+  let atbl : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let n_bins = int_of_float (ceil (horizon /. window_s)) in
+  let bins = Array.make (max 1 n_bins) 0 in
+  let total = ref 0 in
+  for i = lo to hi - 1 do
+    let ts = Trace_soa.time soa i -. base in
+    if ts >= 0.0 && ts < horizon then begin
+      incr total;
+      let key = (Trace_soa.video soa i, Trace_soa.vho soa i) in
+      let c = Option.value ~default:0 (Hashtbl.find_opt atbl key) in
+      Hashtbl.replace atbl key (c + 1);
+      let b = int_of_float (ts /. window_s) in
+      if b >= 0 && b < n_bins then bins.(b) <- bins.(b) + 1
+    end
+  done;
+  let a = sparse_of_tbl ~n_videos atbl in
+  (* Peak-window selection: Stats.peak_windows' algorithm verbatim
+     (busiest bins first, at most one per day). *)
+  let order = Array.init n_bins (fun b -> b) in
+  Array.sort (fun x y -> Int.compare bins.(y) bins.(x)) order;
+  let chosen = ref [] and used_days = Hashtbl.create 8 in
+  (try
+     Array.iter
+       (fun b ->
+         let day = Trace.day_of_time (float_of_int b *. window_s) in
+         if not (Hashtbl.mem used_days day) then begin
+           Hashtbl.add used_days day ();
+           chosen := b :: !chosen;
+           if List.length !chosen >= n_windows then raise Exit
+         end)
+       order
+   with Exit -> ());
+  let window_starts =
+    List.rev_map (fun b -> float_of_int b *. window_s) !chosen |> List.rev
+  in
+  let windows =
+    Array.of_list (List.map (fun t0 -> (t0, t0 +. window_s)) window_starts)
+  in
+  let f =
+    Array.map
+      (fun (t0, t1) ->
+        let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+        for i = lo to hi - 1 do
+          let ts = Trace_soa.time soa i -. base in
+          if ts >= 0.0 && ts < horizon then begin
+            let video = Trace_soa.video soa i in
+            let dur = Video.duration_s (Catalog.video catalog video) in
+            if ts < t1 && ts +. dur > t0 then begin
+              let key = (video, Trace_soa.vho soa i) in
+              let c = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+              Hashtbl.replace tbl key (c + 1)
+            end
+          end
+        done;
+        sparse_of_tbl ~n_videos tbl)
+      windows
+  in
+  { n_videos; n_vhos; a; f; windows; total_requests = float_of_int !total }
+
 (* Total requests for a video across VHOs. *)
 let video_requests t video =
   Array.fold_left (fun acc (_, c) -> acc +. c) 0.0 t.a.(video)

@@ -28,6 +28,24 @@ val of_requests :
   Trace.request array ->
   t
 
+(** Columnar variant of {!of_requests} over rows [[lo, hi)) of a
+    compact store: same rebase/clamp semantics, same peak-window
+    selection, equal result — but no boxed request batch is staged
+    (the million-video demand-extraction path). Raises
+    [Invalid_argument] on a bad range or a store whose VHO bound
+    exceeds [n_vhos]. *)
+val of_soa :
+  Catalog.t ->
+  n_vhos:int ->
+  day0:int ->
+  days:int ->
+  n_windows:int ->
+  window_s:float ->
+  Trace_soa.t ->
+  lo:int ->
+  hi:int ->
+  t
+
 (** Total request count of a video across VHOs. *)
 val video_requests : t -> int -> float
 

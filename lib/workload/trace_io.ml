@@ -48,6 +48,50 @@ let check_video ~lineno ~n_videos (r : Trace.request) =
            r.Trace.video n lineno)
   | Some _ | None -> r
 
+(* Streamed columnar variants: the CSV is read or written one line at a
+   time against a Trace_soa store, so the only boxed request alive is
+   the record being parsed — the whole-trace boxed list of [load_csv]
+   never exists. This is the interchange path for traces too large to
+   stage in records (the million-video tier). *)
+
+let save_csv_soa (soa : Trace_soa.t) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (header ^ "\n");
+      for i = 0 to Trace_soa.length soa - 1 do
+        Printf.fprintf oc "%.3f,%d,%d\n" (Trace_soa.time soa i)
+          (Trace_soa.vho soa i) (Trace_soa.video soa i)
+      done)
+
+let load_csv_soa ?n_videos ~n_vhos ~days path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let b = Trace_soa.Builder.create ~n_vhos ~days () in
+      let lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           let line = input_line ic in
+           let trimmed = String.trim line in
+           if trimmed <> "" && not (!lineno = 1 && trimmed = header) then begin
+             let r =
+               check_video ~lineno:!lineno ~n_videos
+                 (parse_line ~lineno:!lineno trimmed)
+             in
+             Trace_soa.Builder.add b ~time_s:r.Trace.time_s ~vho:r.Trace.vho
+               ~video:r.Trace.video
+           end
+         done
+       with End_of_file -> ());
+      let soa = Trace_soa.Builder.finish b in
+      Vod_obs.Obs.set_gauge "mem/trace_store_bytes"
+        (float_of_int (Trace_soa.resident_bytes soa));
+      soa)
+
 let load_csv ?n_videos ~n_vhos ~days path =
   let ic = open_in path in
   Fun.protect

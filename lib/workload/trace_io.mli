@@ -14,3 +14,16 @@ val save_csv : Trace.t -> string -> unit
     on out-of-range VHO ids / times (via {!Trace.create}); raises
     [Sys_error] if the file is unreadable. *)
 val load_csv : ?n_videos:int -> n_vhos:int -> days:int -> string -> Trace.t
+
+(** Streamed columnar export: writes row by row from the compact store;
+    no boxed request is materialized. Byte-identical output to
+    {!save_csv} on the equivalent trace. *)
+val save_csv_soa : Trace_soa.t -> string -> unit
+
+(** Streamed columnar import: parses line by line straight into a
+    {!Trace_soa.Builder}, so the only boxed request alive is the one
+    being parsed (the configurable-window contract; the window here is
+    a single record). Same validation and errors as {!load_csv}; sets
+    the [mem/trace_store_bytes] gauge when metrics are on. *)
+val load_csv_soa :
+  ?n_videos:int -> n_vhos:int -> days:int -> string -> Trace_soa.t

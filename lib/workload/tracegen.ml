@@ -41,13 +41,23 @@ let poisson rng lambda =
     max 0 (int_of_float (Float.round x))
   end
 
-(* Days are mutually independent given their RNG stream, so generation
-   fans out across the domain pool one task per day. Determinism: the
-   master generator is split into per-day streams *in day order before
-   any task runs* (Rng.split_n), each day samples only from its own
-   stream into its own slot, and the slots are concatenated in day
-   order — so the trace is bit-identical at any job count. *)
-let generate ?(jobs = 0) (p : params) =
+(* Day-independent sampling context, shared by the boxed and the
+   struct-of-arrays generators. Building it consumes no randomness
+   beyond the per-day stream split, so both entry points draw the exact
+   same sample sequence. *)
+type ctx = {
+  p : params;
+  n_vhos : int;
+  days : int;
+  day_rngs : Vod_util.Rng.t array;
+  vho_sampler : Vod_util.Sampler.t;
+  hour_sampler : Vod_util.Sampler.t;
+  day_scale : float;
+  taste_key : int array;
+  taste_accept_bound : float;
+}
+
+let make_ctx (p : params) =
   let n_vhos = Array.length p.populations in
   if n_vhos = 0 then invalid_arg "Tracegen.generate: no VHOs";
   let days = p.catalog.Catalog.trace_days in
@@ -61,7 +71,6 @@ let generate ?(jobs = 0) (p : params) =
   done;
   let day_scale = float_of_int days /. !day_weight_sum in
   let videos = p.catalog.Catalog.videos in
-  let taste_accept_bound = 1.0 +. p.taste_spread in
   (* Episodes of one series share a regional audience: key their taste
      multiplier by the series, not the episode — this is what makes the
      paper's series-based demand estimation work (Sec. VI-A). *)
@@ -73,45 +82,115 @@ let generate ?(jobs = 0) (p : params) =
         | Video.Regular | Video.Music_video | Video.Blockbuster -> v.Video.id)
       videos
   in
-  (* One request batch per day; samplers over per-day weights are built
-     inside the task (they are day-local state). *)
-  let generate_day day =
-    let rng = day_rngs.(day) in
-    let weights =
-      Array.map (fun v -> Profiles.video_day_weight v ~day) videos
+  {
+    p;
+    n_vhos;
+    days;
+    day_rngs;
+    vho_sampler;
+    hour_sampler;
+    day_scale;
+    taste_key;
+    taste_accept_bound = 1.0 +. p.taste_spread;
+  }
+
+(* One day's requests, sampled into plain staging columns (flat float /
+   int arrays — the bounded window of the SoA path, never boxed
+   records). Samplers over per-day weights are built inside the task
+   (they are day-local state). Sample [k] lands at index [count-1-k],
+   preserving the order the original list-prepending generator emitted,
+   so the produced traces stay bit-identical across this refactor. *)
+let sample_day_columns ctx day =
+  let p = ctx.p in
+  let rng = ctx.day_rngs.(day) in
+  let videos = p.catalog.Catalog.videos in
+  let weights = Array.map (fun v -> Profiles.video_day_weight v ~day) videos in
+  let video_sampler = Vod_util.Sampler.create weights in
+  let lambda = p.mean_daily_requests *. Profiles.day_weight day *. ctx.day_scale in
+  let count = poisson rng lambda in
+  let times = Array.make count 0.0 in
+  let vhos = Array.make count 0 in
+  let vids = Array.make count 0 in
+  for k = 0 to count - 1 do
+    let video = Vod_util.Sampler.draw video_sampler rng in
+    (* Rejection-sample the VHO against the taste multiplier so that
+       P(vho | video) is proportional to population * taste. *)
+    let rec pick_vho () =
+      let vho = Vod_util.Sampler.draw ctx.vho_sampler rng in
+      let accept =
+        Profiles.taste_multiplier ~spread:p.taste_spread ~vho
+          ~video:ctx.taste_key.(video)
+        /. ctx.taste_accept_bound
+      in
+      if Vod_util.Rng.float rng < accept then vho else pick_vho ()
     in
-    let video_sampler = Vod_util.Sampler.create weights in
-    let lambda = p.mean_daily_requests *. Profiles.day_weight day *. day_scale in
-    let count = poisson rng lambda in
-    let requests = ref [] in
-    for _ = 1 to count do
-      let video = Vod_util.Sampler.draw video_sampler rng in
-      (* Rejection-sample the VHO against the taste multiplier so that
-         P(vho | video) is proportional to population * taste. *)
-      let rec pick_vho () =
-        let vho = Vod_util.Sampler.draw vho_sampler rng in
-        let accept =
-          Profiles.taste_multiplier ~spread:p.taste_spread ~vho
-            ~video:taste_key.(video)
-          /. taste_accept_bound
-        in
-        if Vod_util.Rng.float rng < accept then vho else pick_vho ()
-      in
-      let vho = pick_vho () in
-      let hour = Vod_util.Sampler.draw hour_sampler rng in
-      let sec_in_hour = Vod_util.Rng.float rng *. 3600.0 in
-      let time_s =
-        (float_of_int day *. Trace.seconds_per_day)
-        +. (float_of_int hour *. 3600.0)
-        +. sec_in_hour
-      in
-      requests := { Trace.time_s; vho; video } :: !requests
-    done;
-    Array.of_list !requests
+    let vho = pick_vho () in
+    let hour = Vod_util.Sampler.draw ctx.hour_sampler rng in
+    let sec_in_hour = Vod_util.Rng.float rng *. 3600.0 in
+    let time_s =
+      (float_of_int day *. Trace.seconds_per_day)
+      +. (float_of_int hour *. 3600.0)
+      +. sec_in_hour
+    in
+    let i = count - 1 - k in
+    times.(i) <- time_s;
+    vhos.(i) <- vho;
+    vids.(i) <- video
+  done;
+  (times, vhos, vids)
+
+(* Days are mutually independent given their RNG stream, so generation
+   fans out across the domain pool one task per day. Determinism: the
+   master generator is split into per-day streams *in day order before
+   any task runs* (Rng.split_n), each day samples only from its own
+   stream into its own slot, and the slots are concatenated in day
+   order — so the trace is bit-identical at any job count. *)
+let generate ?(jobs = 0) (p : params) =
+  let ctx = make_ctx p in
+  let generate_day day =
+    let times, vhos, vids = sample_day_columns ctx day in
+    Array.init (Array.length times) (fun i ->
+        { Trace.time_s = times.(i); vho = vhos.(i); video = vids.(i) })
   in
   let per_day =
     Vod_util.Pool.with_pool ~jobs (fun pool ->
         Vod_util.Pool.map pool ~f:generate_day
-          (Array.init days (fun d -> d)))
+          (Array.init ctx.days (fun d -> d)))
   in
-  Trace.create ~n_vhos ~days (Array.concat (Array.to_list per_day))
+  Trace.create ~n_vhos:ctx.n_vhos ~days:ctx.days
+    (Array.concat (Array.to_list per_day))
+
+(* The struct-of-arrays path: same per-day sampling, same RNG streams,
+   but the staged columns append straight into a Bigarray-backed
+   builder — no boxed request ever exists, and at most [window_days]
+   days of plain-array staging are live at a time (the configurable
+   window). The builder's final time sort applies the same permutation
+   [Trace.create] would, so [generate_soa p] holds exactly the rows of
+   [Trace_soa.of_trace (generate p)] in the same order, at any job
+   count. *)
+let generate_soa ?(jobs = 0) ?(window_days = 7) (p : params) =
+  if window_days <= 0 then
+    invalid_arg "Tracegen.generate_soa: window_days must be positive";
+  let ctx = make_ctx p in
+  let b = Trace_soa.Builder.create ~n_vhos:ctx.n_vhos ~days:ctx.days () in
+  Vod_util.Pool.with_pool ~jobs (fun pool ->
+      let d = ref 0 in
+      while !d < ctx.days do
+        let batch = min window_days (ctx.days - !d) in
+        let day0 = !d in
+        let cols =
+          Vod_util.Pool.map pool
+            ~f:(fun day -> sample_day_columns ctx day)
+            (Array.init batch (fun k -> day0 + k))
+        in
+        Array.iter
+          (fun (times, vhos, vids) ->
+            Trace_soa.Builder.add_columns b ~times ~vhos ~videos:vids
+              ~n:(Array.length times))
+          cols;
+        d := !d + batch
+      done);
+  let soa = Trace_soa.Builder.finish b in
+  Vod_obs.Obs.set_gauge "mem/trace_store_bytes"
+    (float_of_int (Trace_soa.resident_bytes soa));
+  soa

@@ -31,3 +31,15 @@ val poisson : Vod_util.Rng.t -> float -> int
     concatenated in day order, so the result is bit-identical at any
     job count. *)
 val generate : ?jobs:int -> params -> Trace.t
+
+(** The struct-of-arrays generator: the same request sequence as
+    {!generate} (same seed, same split RNG streams, same final time
+    sort — [generate_soa p] holds exactly the rows of
+    [Trace_soa.of_trace (generate p)]), but sampled into a compact
+    Bigarray-backed {!Trace_soa.t}. No boxed request is ever
+    materialized; per-day sampling stages flat columns and appends them
+    into the store in batches of at most [window_days] days (default 7)
+    — the configurable staging window. Sets the
+    [mem/trace_store_bytes] gauge when metrics are on. Bit-identical at
+    any job count. *)
+val generate_soa : ?jobs:int -> ?window_days:int -> params -> Trace_soa.t

@@ -14,6 +14,7 @@ let () =
       ("sim", Test_sim.suite);
       ("resil", Test_resil.suite);
       ("serve", Test_serve.suite);
+      ("soa", Test_soa.suite);
       ("core", Test_core.suite);
       ("properties", Test_props.suite);
       ("edge", Test_edge.suite);

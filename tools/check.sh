@@ -82,9 +82,10 @@ if ! diff -u "$smoke_dir/jobs1.out" "$smoke_dir/jobs4.out"; then
   exit 1
 fi
 # The metrics exports must agree too, modulo the documented exclusions
-# (timing keys and scheduler telemetry).
+# (timing keys, scheduler telemetry, and the mem/* RSS gauges — see
+# METRICS.md, "Determinism and --jobs invariance").
 for j in 1 4; do
-  grep -vE '_seconds|"pool/sched/' "$smoke_dir/metrics$j.json" \
+  grep -vE '_seconds|"pool/sched/|"mem/' "$smoke_dir/metrics$j.json" \
     > "$smoke_dir/metrics$j.inv"
 done
 if ! diff -u "$smoke_dir/metrics1.inv" "$smoke_dir/metrics4.inv"; then
@@ -107,13 +108,46 @@ if ! diff -u "$smoke_dir/fault1.out" "$smoke_dir/fault4.out"; then
   exit 1
 fi
 for j in 1 4; do
-  grep -vE '_seconds|"pool/sched/' "$smoke_dir/fault_metrics$j.json" \
+  grep -vE '_seconds|"pool/sched/|"mem/' "$smoke_dir/fault_metrics$j.json" \
     > "$smoke_dir/fault_metrics$j.inv"
 done
 if ! diff -u "$smoke_dir/fault_metrics1.inv" "$smoke_dir/fault_metrics4.inv"; then
   echo "FAIL: non-time fault metrics differ between --jobs 1 and --jobs 4" >&2
   exit 1
 fi
+echo "== SoA playout smoke: --soa vs array path, --jobs 1 vs --jobs 4 =="
+# The compact struct-of-arrays serving path must reproduce the
+# array-backed playout byte-for-byte (same faulted scenario as the
+# smoke above, so fault1.out doubles as the reference), and its
+# sharded generator must stay byte-identical at any job count.
+for j in 1 4; do
+  dune exec --no-print-directory bin/vodopt.exe -- simulate \
+    --scheme lru --videos 150 --days 14 --requests-per-video 5 \
+    --faults single-vho --link-capacity 400 --soa --jobs "$j" \
+    > "$smoke_dir/soa$j.out"
+done
+if ! diff -u "$smoke_dir/fault1.out" "$smoke_dir/soa1.out"; then
+  echo "FAIL: --soa playout differs from the array-backed playout" >&2
+  exit 1
+fi
+if ! diff -u "$smoke_dir/soa1.out" "$smoke_dir/soa4.out"; then
+  echo "FAIL: --soa playout differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+echo "== scale-tier list drift: bench --help vs EXPERIMENTS.md =="
+# One authoritative tier list, quoted in two places; both must carry
+# every tier (a new tier added to bench/common.ml without its docs
+# fails here).
+tiers='VOD_SCALE=quick|default|full|huge'
+dune exec --no-print-directory bench/main.exe -- --help \
+  | grep -qF "$tiers" || {
+  echo "FAIL: bench --help does not list '$tiers'" >&2
+  exit 1
+}
+grep -qF "$tiers" EXPERIMENTS.md || {
+  echo "FAIL: EXPERIMENTS.md does not list '$tiers'" >&2
+  exit 1
+}
 echo "== daemon determinism smoke: --jobs 1 vs --jobs 4 =="
 # The online re-placement daemon (continuous replans, warm starts,
 # migration budget, fault reaction) must also be byte-identical at any
@@ -130,7 +164,7 @@ if ! diff -u "$smoke_dir/daemon1.out" "$smoke_dir/daemon4.out"; then
   exit 1
 fi
 for j in 1 4; do
-  grep -vE '_seconds|"pool/sched/' "$smoke_dir/daemon_metrics$j.json" \
+  grep -vE '_seconds|"pool/sched/|"mem/' "$smoke_dir/daemon_metrics$j.json" \
     > "$smoke_dir/daemon_metrics$j.inv"
 done
 if ! diff -u "$smoke_dir/daemon_metrics1.inv" "$smoke_dir/daemon_metrics4.inv"; then
@@ -169,6 +203,7 @@ for key in $keys; do
     s#^phase/bench/([a-z0-9]+)/#phase/#;
     s#^phase/bench/[a-z0-9]+_seconds$#phase/bench/<exhibit>_seconds#;
     s#^pool/sched/domain[0-9]+_busy_seconds$#pool/sched/domain<slot>_busy_seconds#;
+    s#^huge/[a-z]+_seconds$#huge/<step>_seconds#;
     s#^cache/(lru|lfu|lrfu)/#cache/<policy>/#')
   if ! grep -qxF "$norm" "$smoke_dir/registry.txt"; then
     echo "FAIL: metric '$key' (registry form '$norm') is not in METRICS.md" >&2
