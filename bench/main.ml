@@ -31,6 +31,7 @@ let available =
     ("table5", "peak window size");
     ("table6", "update frequency / estimation accuracy");
     ("ablation", "solver design-choice ablations (pass order, warm start)");
+    ("decomp", "solver backends: Benders/DW master vs EPF convergence race");
     ("failure", "fault injection: placement vs caching fleets under outages");
     ("daemon", "online re-placement daemon vs weekly/daily batch updates");
     ("micro", "bechamel kernel micro-benchmarks");
@@ -170,6 +171,7 @@ let () =
     run_if "table5" (fun () -> Exp_window.run ());
     run_if "table6" (fun () -> Exp_update.run (Lazy.force scenario));
     run_if "ablation" (fun () -> Exp_ablation.run ());
+    run_if "decomp" (fun () -> Exp_decomp.run ());
     run_if "failure" (fun () ->
         Exp_failure.run ?faults_file:!faults_file ?link_capacity:!link_capacity ());
     run_if "daemon" (fun () -> Exp_daemon.run ());

@@ -63,6 +63,15 @@ let link_t =
 let passes_t =
   Arg.(value & opt int 50 & info [ "passes" ] ~docv:"P" ~doc:"Max EPF passes.")
 
+let solver_t =
+  let solvers = [ "epf"; "benders"; "simplex" ] in
+  Arg.(
+    value
+    & opt (enum (List.map (fun s -> (s, s)) solvers)) "epf"
+    & info [ "solver" ] ~docv:"S"
+        ~doc:
+          "Placement solver backend: $(b,epf) (exponential-potential decomposition, default), $(b,benders) (stabilized cutting-plane master), $(b,simplex) (exact dense LP, small instances only).")
+
 let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
 let jobs_t =
@@ -185,7 +194,7 @@ let stats topology topology_file trace_file trace_out videos days rpv seed verbo
 (* ---- solve ---- *)
 
 let solve topology topology_file trace_file placement_out videos days rpv seed disk
-    link passes verbose jobs metrics =
+    link passes solver verbose jobs metrics =
   setup_logs verbose jobs;
   with_metrics metrics @@ fun () ->
   let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
@@ -199,7 +208,7 @@ let solve topology topology_file trace_file placement_out videos days rpv seed d
       ()
   in
   let params = { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = passes } in
-  let report, solve_s = timed (fun () -> Vod_placement.Solve.solve ~params inst) in
+  let report, solve_s = timed (fun () -> Vod_placement.Solve.solve ~solver ~params inst) in
   let sol = report.Vod_placement.Solve.solution in
   Printf.printf "passes        %d\n" report.Vod_placement.Solve.passes;
   Printf.printf "time          %.2f s\n" solve_s;
@@ -283,7 +292,7 @@ let schedule_of_spec sc spec =
         spec
 
 let simulate topology topology_file trace_file videos days rpv seed disk link passes
-    scheme faults playout_link origin soa verbose jobs metrics =
+    scheme solver faults playout_link origin soa verbose jobs metrics =
   setup_logs verbose jobs;
   with_metrics metrics @@ fun () ->
   let sc =
@@ -318,6 +327,7 @@ let simulate topology topology_file trace_file videos days rpv seed disk link pa
       Vod_core.Pipeline.default_mip with
       Vod_core.Pipeline.engine =
         { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = passes };
+      Vod_core.Pipeline.solver;
     }
   in
   let scheme =
@@ -395,8 +405,8 @@ let no_fault_react_t =
         ~doc:"Replan only on the periodic cadence, ignoring fault/repair events.")
 
 let serve topology topology_file trace_file videos days rpv seed disk link passes
-    faults playout_link origin update_hours budget cold_start no_fault_react verbose
-    jobs metrics =
+    solver faults playout_link origin update_hours budget cold_start no_fault_react
+    verbose jobs metrics =
   setup_logs verbose jobs;
   with_metrics metrics @@ fun () ->
   let sc = scenario_of ?topology_file ?trace_file ~topology ~videos ~days ~rpv ~seed () in
@@ -423,6 +433,7 @@ let serve topology topology_file trace_file videos days rpv seed disk link passe
       Vod_core.Pipeline.default_mip with
       Vod_core.Pipeline.engine =
         { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = passes };
+      Vod_core.Pipeline.solver;
     }
   in
   let daemon_cfg =
@@ -516,15 +527,15 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Solve one placement instance")
     Term.(
       const solve $ topology_t $ topology_file_t $ trace_file_t $ placement_out_t
-      $ videos_t $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ verbose_t
-      $ jobs_t $ metrics_t)
+      $ videos_t $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ solver_t
+      $ verbose_t $ jobs_t $ metrics_t)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Replay the trace against a distribution scheme")
     Term.(
       const simulate $ topology_t $ topology_file_t $ trace_file_t $ videos_t
-      $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ scheme_t $ faults_t
-      $ playout_link_t $ origin_t $ soa_t $ verbose_t $ jobs_t $ metrics_t)
+      $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ scheme_t $ solver_t
+      $ faults_t $ playout_link_t $ origin_t $ soa_t $ verbose_t $ jobs_t $ metrics_t)
 
 let serve_cmd =
   Cmd.v
@@ -533,7 +544,7 @@ let serve_cmd =
          "Serve the trace through the online re-placement daemon (continuous replans under a migration budget)")
     Term.(
       const serve $ topology_t $ topology_file_t $ trace_file_t $ videos_t
-      $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ faults_t
+      $ days_t $ rpv_t $ seed_t $ disk_t $ link_t $ passes_t $ solver_t $ faults_t
       $ playout_link_t $ origin_t $ update_hours_t $ budget_t $ cold_start_t
       $ no_fault_react_t $ verbose_t $ jobs_t $ metrics_t)
 

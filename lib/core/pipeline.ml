@@ -9,6 +9,7 @@ type mip_config = {
   cache_frac : float;     (* complementary-LRU share of each VHO's disk *)
   update_days : int;      (* placement update period (7 = weekly) *)
   engine : Vod_epf.Engine.params;
+  solver : string;        (* placement solver backend (Backend registry) *)
 }
 
 let default_mip =
@@ -17,6 +18,7 @@ let default_mip =
     cache_frac = 0.05;
     update_days = 7;
     engine = Vod_epf.Engine.default_params;
+    solver = "epf";
   }
 
 type scheme =
@@ -68,9 +70,12 @@ type result = {
 
 let scheme_name cfg = function
   | Mip m ->
-      Printf.sprintf "mip[%s,cache=%.0f%%,update=%dd]"
+      (* Non-default solvers are tagged; the default stays byte-identical
+         to the historical name (recorded exhibits depend on it). *)
+      let solver_tag = if m.solver = "epf" then "" else "," ^ m.solver in
+      Printf.sprintf "mip[%s%s,cache=%.0f%%,update=%dd]"
         (Vod_workload.Estimator.name m.estimator)
-        (100.0 *. m.cache_frac) m.update_days
+        solver_tag (100.0 *. m.cache_frac) m.update_days
   | Random_cache Vod_cache.Cache.Lru -> "random+lru"
   | Random_cache Vod_cache.Cache.Lfu -> "random+lfu"
   | Random_cache (Vod_cache.Cache.Lrfu lambda) ->
@@ -120,6 +125,7 @@ let replan_problem cfg (m : mip_config) =
     n_windows = cfg.n_windows;
     window_s = cfg.window_s;
     engine = m.engine;
+    solver = m.solver;
   }
 
 (* Solve a placement for the week starting at [day0] from a (predicted or

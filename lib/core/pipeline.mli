@@ -7,6 +7,9 @@ type mip_config = {
   cache_frac : float;   (** complementary-LRU share of each VHO's disk *)
   update_days : int;    (** placement update period (7 = weekly) *)
   engine : Vod_epf.Engine.params;
+  solver : string;
+      (** placement solver backend name ({!Vod_placement.Backend});
+          ["epf"] keeps the historical behavior *)
 }
 
 (** Series+blockbuster estimation, 5% cache, weekly updates. *)

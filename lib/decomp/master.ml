@@ -1,0 +1,646 @@
+(* Stabilized Dantzig-Wolfe / Benders cutting-plane master.
+
+   Same contract as the EPF engine (blocks behind Engine.oracle, coupling
+   capacities, Engine.outcome out), different machinery: a restricted
+   master LP over per-block oracle columns, solved exactly by the dense
+   simplex, whose dual prices drive the next oracle round. Four design
+   points keep it sound and deterministic:
+
+   - Disaggregation: every block keeps its own convexity row and its own
+     columns, so the master can mix blocks independently — the structure
+     that actually reaches feasibility in tens of passes. Columns with
+     zero weight are pruned each pass (fresh ones are spared one pass),
+     which keeps the tableau at roughly (active rows + blocks) square.
+   - Soft capacities: every active coupling row gets an explicit
+     relative-overflow variable priced at [price_cap_factor x the average
+     initial block objective], so the master is always feasible and its
+     duals are boxed at [pen / capacity] — the "box" half of the
+     stabilization. The penalty doubles when the master stalls while
+     still violating, so feasibility is eventually enforced.
+   - In-out queries: oracles are priced at a convex combination of the
+     incumbent (best-lower-bound) prices and the master's duals; the
+     in-weight grows on serious steps (the center just moved, trust it)
+     and decays on null steps — in the limit the loop is pure Kelley /
+     column generation, which is what guarantees convergence.
+   - Ordered reductions: cut generation and bound sweeps fan out through
+     Pool with in-order combination, so the outcome is bit-identical at
+     any [jobs] count.
+
+   Wall-clock never appears here (wallclock-in-solver rule): phase
+   timings go through Vod_obs.Obs like the EPF engine's. *)
+
+module Obs = Vod_obs.Obs
+module Pool = Vod_util.Pool
+module Engine = Vod_epf.Engine
+module Sparse = Vod_epf.Sparse
+module Simplex = Vod_lp.Simplex
+
+let src = Logs.Src.create "vod.decomp" ~doc:"stabilized cutting-plane master"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type params = {
+  epsilon : float;
+  max_passes : int;
+  jobs : int;
+  stab_in_weight : float;
+  stab_shrink : float;
+  stab_grow : float;
+  stab_max : float;
+  price_cap_factor : float;
+  polish_passes : int;
+}
+
+let default_params =
+  {
+    epsilon = 0.01;
+    max_passes = 60;
+    jobs = 0;
+    stab_in_weight = 0.5;
+    stab_shrink = 0.7;
+    stab_grow = 1.3;
+    stab_max = 0.9;
+    price_cap_factor = 10.0;
+    polish_passes = 2;
+  }
+
+(* One master column: a single block's oracle point. [born] is the pass
+   that generated it — fresh columns survive one pruning sweep even at
+   zero weight, so the master prices them at least once. *)
+type 'a column = { block : int; pt : 'a Engine.point; born : int }
+
+(* Sparse usages are canonical (sorted, zero-free), so structural
+   equality on (obj, usage) is an exact same-point test. [data] is an
+   opaque payload (may contain closures) and must stay out of it. *)
+let same_pt (a : _ Engine.point) (b : _ Engine.point) =
+  a.Engine.obj = b.Engine.obj && a.Engine.usage = b.Engine.usage
+
+(* Solve the restricted master
+     min  sum_t obj_t w_t + pen * sum_k v_k
+     s.t. sum_t usage_t(i_k) w_t - b_(i_k) v_k <= b_(i_k)  (k over active)
+          sum_(t in block b) w_t = 1                       (b over blocks)
+          w, v >= 0
+   over the rows [active] (rows touched by at least one column; inactive
+   rows can only have dual 0 and are dropped to keep the tableau small).
+   Returns (weights, clamped row prices over the full row space). *)
+let solve_master ~columns ~capacities ~pen ~active ~k_blocks =
+  let t_count = Array.length columns in
+  let n_active = Array.length active in
+  let n_vars = t_count + n_active in
+  let minimize = Array.make n_vars 0.0 in
+  Array.iteri (fun t c -> minimize.(t) <- c.pt.Engine.obj) columns;
+  for k = 0 to n_active - 1 do
+    minimize.(t_count + k) <- pen
+  done;
+  let buckets = Array.make (Array.length capacities) [] in
+  for t = t_count - 1 downto 0 do
+    Sparse.iter
+      (fun i u -> if u <> 0.0 then buckets.(i) <- (t, u) :: buckets.(i))
+      columns.(t).pt.Engine.usage
+  done;
+  let cap_rows =
+    Array.to_list
+      (Array.mapi
+         (fun k i ->
+           {
+             Simplex.row = (t_count + k, -.capacities.(i)) :: buckets.(i);
+             rel = Simplex.Le;
+             rhs = capacities.(i);
+           })
+         active)
+  in
+  let members = Array.make k_blocks [] in
+  for t = t_count - 1 downto 0 do
+    members.(columns.(t).block) <- (t, 1.0) :: members.(columns.(t).block)
+  done;
+  let convexity =
+    List.init k_blocks (fun b ->
+        { Simplex.row = members.(b); rel = Simplex.Eq; rhs = 1.0 })
+  in
+  let problem =
+    { Simplex.n_vars; minimize; constraints = cap_rows @ convexity }
+  in
+  match Simplex.solve problem with
+  | Simplex.Optimal { solution; duals; _ } ->
+      let weights = Array.sub solution 0 t_count in
+      let prices = Array.make (Array.length capacities) 0.0 in
+      Array.iteri
+        (fun k i ->
+          (* Le duals are <= 0 for a minimization; the oracle price is
+             the nonnegative shadow price, boxed by the penalty. *)
+          let y = -.duals.(k) in
+          prices.(i) <- Float.min (pen /. capacities.(i)) (Float.max 0.0 y))
+        active;
+      (weights, prices)
+  | Simplex.Infeasible | Simplex.Unbounded ->
+      (* Overflow variables make the master feasible and the convexity
+         rows bound it; reaching this means the tableau broke down.
+         vodlint-disable no-failwith -- invariant breach, not an
+         argument error; Failure matches the backend contract *)
+      failwith "Decomp.Master: restricted master LP did not solve"
+
+(* Max relative violation of the coupling rows (same convention as
+   Engine.max_coupling_infeas, clamped at 0). *)
+let rel_violation ~capacities usage =
+  let v = ref 0.0 in
+  Array.iteri
+    (fun i u ->
+      let r = (u -. capacities.(i)) /. capacities.(i) in
+      if r > !v then v := r)
+    usage;
+  !v
+
+(* Deterministic sequential rounding, EPF-style: start from the
+   *fractional* mix's row usage and replace one block's fractional
+   footprint at a time with its cheapest integral candidate under
+   [pen]-priced marginal overflow — later blocks see earlier snaps'
+   load shifts, which is what keeps the rounded solution close to the
+   fractional one. Polish sweeps then let blocks re-snap (including a
+   fresh oracle point priced by the rows currently overloaded).
+   Candidates per block: its live master columns plus a strong oracle
+   point at the incumbent prices. *)
+let round_blocks ~p ~pool ~capacities ~pen ~prices ~columns ~weights ~oracles =
+  Obs.phase "round" @@ fun () ->
+  let n_rows = Array.length capacities in
+  let k_blocks = Array.length oracles in
+  let live_by_block = Array.make k_blocks [] in
+  for t = Array.length columns - 1 downto 0 do
+    if weights.(t) > 1e-9 then
+      live_by_block.(columns.(t).block) <-
+        (weights.(t), columns.(t).pt) :: live_by_block.(columns.(t).block)
+  done;
+  let strong =
+    Pool.map pool
+      ~f:(fun (o : _ Engine.oracle) ->
+        o.Engine.optimize_strong ~obj_price:1.0 ~row_price:prices)
+      oracles
+  in
+  let candidates k = List.map snd live_by_block.(k) @ [ strong.(k) ] in
+  let used = Array.make n_rows 0.0 in
+  Array.iter
+    (List.iter (fun (w, (pt : _ Engine.point)) ->
+         Sparse.add_into used w pt.Engine.usage))
+    live_by_block;
+  (* Marginal overflow cost of adding [pt] on top of [used]. *)
+  let overflow_delta (pt : _ Engine.point) =
+    let d = ref 0.0 in
+    Sparse.iter
+      (fun i u ->
+        let b = capacities.(i) in
+        let before = Float.max 0.0 (used.(i) -. b) in
+        let after = Float.max 0.0 (used.(i) +. u -. b) in
+        d := !d +. (pen /. b *. (after -. before)))
+      pt.Engine.usage;
+    !d
+  in
+  let merit pt = pt.Engine.obj +. overflow_delta pt in
+  (* Congestion-priced relief: rows get more expensive as they fill
+     (quadratic past half-full, [pen/b] at the cap) so fresh points
+     prefer genuinely slack rows instead of rows one unit below cap. *)
+  let relief_prices_of () =
+    Array.init n_rows (fun i ->
+        let b = capacities.(i) in
+        let fill = used.(i) /. b in
+        let congestion = Float.max 0.0 ((2.0 *. fill) -. 1.0) in
+        prices.(i) +. (pen /. b *. congestion *. congestion))
+  in
+  let best_of cands =
+    match cands with
+    | [] -> invalid_arg "Decomp.Master: block with no candidate point"
+    | first :: rest ->
+        List.fold_left
+          (fun (bp, bm) pt ->
+            let m = merit pt in
+            if m < bm -. 1e-12 then (pt, m) else (bp, bm))
+          (first, merit first) rest
+  in
+  let chosen =
+    Array.init k_blocks (fun k ->
+        List.iter
+          (fun (w, (pt : _ Engine.point)) ->
+            Sparse.add_into used (-.w) pt.Engine.usage)
+          live_by_block.(k);
+        let pt, _ = best_of (candidates k) in
+        Sparse.add_into used 1.0 pt.Engine.usage;
+        pt)
+  in
+  (* Polish until no sweep snaps (bounded): draining a congested row
+     usually takes a few sweeps of one-block re-routes. *)
+  let improved = ref true in
+  let sweeps = ref 0 in
+  while !improved && !sweeps < Int.max p.polish_passes 4 do
+    incr sweeps;
+    improved := false;
+    for k = 0 to k_blocks - 1 do
+      Sparse.add_into used (-1.0) chosen.(k).Engine.usage;
+      (* A fresh greedy point that sees exactly how full the rest of
+         the system currently runs each row. *)
+      let fresh =
+        oracles.(k).Engine.optimize ~obj_price:1.0
+          ~row_price:(relief_prices_of ())
+      in
+      (* Same semantics as folding [fresh] in last: it wins only when
+         strictly better than every stored candidate. *)
+      let pt0, m0 = best_of (candidates k) in
+      let mf = merit fresh in
+      let pt, m = if mf < m0 -. 1e-12 then (fresh, mf) else (pt0, m0) in
+      if m < merit chosen.(k) -. 1e-12 then begin
+        Obs.incr "decomp/round/snaps";
+        improved := true;
+        chosen.(k) <- pt
+      end;
+      Sparse.add_into used 1.0 chosen.(k).Engine.usage
+    done
+  done;
+  (* Targeted repair: while some row is still over its cap, evict from
+     the *worst* row the block whose cheapest avoiding point costs the
+     least — sweeps in block order cannot find that block, a min-cost
+     argmin over the row's users can. Bounded; ties break on the lowest
+     block id (deterministic). *)
+  let repair_budget = ref (4 * k_blocks) in
+  let continue_repair = ref true in
+  while !continue_repair && !repair_budget > 0 do
+    let worst = ref (-1) and wv = ref p.epsilon in
+    Array.iteri
+      (fun i u ->
+        let r = (u -. capacities.(i)) /. capacities.(i) in
+        if r > !wv then begin
+          worst := i;
+          wv := r
+        end)
+      used;
+    if !worst < 0 then continue_repair := false
+    else begin
+      let r = !worst in
+      let relief_prices =
+        let rp = relief_prices_of () in
+        rp.(r) <- rp.(r) +. (100.0 *. pen /. capacities.(r));
+        rp
+      in
+      let users =
+        let acc = ref [] in
+        for k = k_blocks - 1 downto 0 do
+          let touches = ref false in
+          Sparse.iter
+            (fun i u -> if i = r && u > 0.0 then touches := true)
+            chosen.(k).Engine.usage;
+          if !touches then acc := k :: !acc
+        done;
+        !acc
+      in
+      let best_k = ref (-1) and best_d = ref infinity and best_pt = ref None in
+      List.iter
+        (fun k ->
+          decr repair_budget;
+          Sparse.add_into used (-1.0) chosen.(k).Engine.usage;
+          let fresh =
+            oracles.(k).Engine.optimize ~obj_price:1.0
+              ~row_price:relief_prices
+          in
+          let off_r (pt : _ Engine.point) =
+            let v = ref 0.0 in
+            Sparse.iter (fun i u -> if i = r then v := u) pt.Engine.usage;
+            !v < 1e-12
+          in
+          (if off_r fresh then
+             let d = merit fresh -. merit chosen.(k) in
+             if d < !best_d -. 1e-12 then begin
+               best_d := d;
+               best_k := k;
+               best_pt := Some fresh
+             end);
+          Sparse.add_into used 1.0 chosen.(k).Engine.usage)
+        users;
+      match !best_pt with
+      | Some pt when !best_k >= 0 ->
+          Obs.incr "decomp/round/repairs";
+          Sparse.add_into used (-1.0) chosen.(!best_k).Engine.usage;
+          chosen.(!best_k) <- pt;
+          Sparse.add_into used 1.0 pt.Engine.usage
+      | _ ->
+          (* No user of the worst row can avoid it: integrally stuck
+             (e.g. a single copy already exceeds the cap). *)
+          continue_repair := false
+    end
+  done;
+  (chosen, used)
+
+let solve ?initial ?initial_prices (p : params) ~capacities ~oracles =
+  let n_rows = Array.length capacities in
+  let k_blocks = Array.length oracles in
+  if k_blocks = 0 then invalid_arg "Decomp.Master.solve: no blocks";
+  Array.iter
+    (fun c ->
+      if c <= 0.0 then invalid_arg "Decomp.Master.solve: nonpositive capacity")
+    capacities;
+  (match initial with
+  | Some pts when Array.length pts <> k_blocks ->
+      invalid_arg "Decomp.Master.solve: initial arity"
+  | _ -> ());
+  (match initial_prices with
+  | Some ip when Array.length ip <> n_rows ->
+      invalid_arg "Decomp.Master.solve: initial_prices arity"
+  | _ -> ());
+  Pool.with_pool ~jobs:p.jobs (fun pool ->
+      (* Seed columns: every oracle's own initial point, plus the
+         warm-start point (when given and distinct). The average initial
+         block objective sets the penalty scale. *)
+      let own =
+        Obs.phase "init" (fun () ->
+            Pool.map pool
+              ~f:(fun (o : _ Engine.oracle) -> o.Engine.initial ())
+              oracles)
+      in
+      let init_cols =
+        let acc = ref [] in
+        for k = k_blocks - 1 downto 0 do
+          (match initial with
+          | Some pts when not (same_pt pts.(k) own.(k)) ->
+              acc := { block = k; pt = pts.(k); born = 0 } :: !acc
+          | _ -> ());
+          acc := { block = k; pt = own.(k); born = 0 } :: !acc
+        done;
+        !acc
+      in
+      let init_total =
+        Array.fold_left (fun a (pt : _ Engine.point) -> a +. pt.Engine.obj) 0.0
+          own
+      in
+      let columns = ref (Array.of_list init_cols) in
+      let pen =
+        ref
+          (p.price_cap_factor
+          *. Float.max 1e-6 (init_total /. float_of_int k_blocks))
+      in
+      let row_active = Array.make n_rows false in
+      let refresh_active (c : _ column) =
+        Sparse.iter
+          (fun i u -> if u <> 0.0 then row_active.(i) <- true)
+          c.pt.Engine.usage
+      in
+      Array.iter refresh_active !columns;
+      let active () =
+        let acc = ref [] in
+        for i = n_rows - 1 downto 0 do
+          if row_active.(i) then acc := i :: !acc
+        done;
+        Array.of_list !acc
+      in
+      let clamp prices =
+        Array.mapi
+          (fun i v -> Float.min (!pen /. capacities.(i)) (Float.max 0.0 v))
+          prices
+      in
+      let lambda_in =
+        match initial_prices with
+        | Some ip -> clamp ip
+        | None -> Array.make n_rows 0.0
+      in
+      let lambda_out = ref (Array.copy lambda_in) in
+      let lambda_center = ref (Array.copy lambda_in) in
+      let beta = ref (Float.min p.stab_max p.stab_in_weight) in
+      let best_lb = ref neg_infinity in
+      let weights = ref (Array.make (Array.length !columns) 0.0) in
+      let frac_obj = ref init_total in
+      let frac_viol = ref 0.0 in
+      let passes = ref 0 in
+      let passes_to_gap = ref (-1) in
+      let converged = ref false in
+      let stall = ref 0 in
+      let prev_master_value = ref infinity in
+      let viol_anchor = ref infinity in
+      let history = ref [] in
+      Obs.set_gauge "decomp/master/rows" (float_of_int n_rows);
+      while (not !converged) && !passes < p.max_passes do
+        incr passes;
+        Obs.incr "decomp/passes";
+        let lq =
+          Array.init n_rows (fun i ->
+              (!beta *. !lambda_center.(i))
+              +. ((1.0 -. !beta) *. !lambda_out.(i)))
+        in
+        (* Cut generation: one candidate column per block at the query
+           prices; when nothing fresh comes back, retry at the master's
+           own duals (the pure column-generation query) so the model
+           still tightens this pass. *)
+        let cut_at prices =
+          Obs.phase "cuts" (fun () ->
+              Pool.map pool
+                ~f:(fun (o : _ Engine.oracle) ->
+                  o.Engine.optimize ~obj_price:1.0 ~row_price:prices)
+                oracles)
+        in
+        let add pts =
+          let fresh = ref [] and n_fresh = ref 0 in
+          Array.iteri
+            (fun k (pt : _ Engine.point) ->
+              let dup =
+                Array.exists
+                  (fun c -> c.block = k && same_pt c.pt pt)
+                  !columns
+              in
+              if not dup then begin
+                incr n_fresh;
+                Obs.incr "decomp/cuts_added";
+                let c = { block = k; pt; born = !passes } in
+                refresh_active c;
+                fresh := c :: !fresh
+              end)
+            pts;
+          if !n_fresh > 0 then
+            columns := Array.append !columns (Array.of_list (List.rev !fresh));
+          !n_fresh > 0
+        in
+        let fresh = add (cut_at lq) in
+        let fresh =
+          if (not fresh) && !beta > 1e-3 then add (cut_at !lambda_out)
+          else fresh
+        in
+        (* Lagrangian bound at the query prices: sum of priced block
+           minima minus lambda . b (in-order float fold: deterministic). *)
+        let lb =
+          Obs.phase "lb" (fun () ->
+              let block_sum =
+                Pool.map_reduce pool ~n:k_blocks
+                  ~map:(fun k -> oracles.(k).Engine.lower_bound ~row_price:lq)
+                  ~init:0.0 ~combine:( +. )
+              in
+              let price_mass = ref 0.0 in
+              Array.iteri
+                (fun i l -> price_mass := !price_mass +. (l *. capacities.(i)))
+                lq;
+              block_sum -. !price_mass)
+        in
+        (* In-out update: a serious step (better Lagrangian value at the
+           query) re-centers and can afford a more conservative query
+           next pass; a null step decays the in-weight toward the
+           master's duals — in the limit the loop is pure Kelley /
+           column generation, which is what guarantees convergence. *)
+        let serious = lb > !best_lb +. 1e-12 in
+        if serious then begin
+          Obs.incr "decomp/stab/serious_steps";
+          best_lb := lb;
+          lambda_center := lq;
+          beta := Float.min p.stab_max (!beta *. p.stab_grow)
+        end
+        else begin
+          Obs.incr "decomp/stab/null_steps";
+          beta :=
+            Float.max (p.stab_in_weight /. 2.0)
+              (!beta *. p.stab_shrink
+              *. (if fresh then 1.0 else p.stab_shrink))
+        end;
+        (* Re-solve the restricted master over the current column pool. *)
+        let w, prices =
+          Obs.phase "rmp" (fun () ->
+              solve_master ~columns:!columns ~capacities ~pen:!pen
+                ~active:(active ()) ~k_blocks)
+        in
+        weights := w;
+        lambda_out := prices;
+        if not serious then
+          (* Null step: drift the center toward the fresh duals — the
+             center becomes a running average of the master's (often
+             bang-bang) prices, so the next query is an interior,
+             damped price vector (Wentges-style smoothing). *)
+          lambda_center :=
+            Array.mapi
+              (fun i c -> (0.8 *. c) +. (0.2 *. prices.(i)))
+              !lambda_center;
+        let comb_usage = Array.make n_rows 0.0 in
+        let fobj = ref 0.0 in
+        Array.iteri
+          (fun t wt ->
+            if wt > 1e-12 then begin
+              fobj := !fobj +. (wt *. (!columns).(t).pt.Engine.obj);
+              Sparse.add_into comb_usage wt (!columns).(t).pt.Engine.usage
+            end)
+          w;
+        frac_obj := !fobj;
+        frac_viol := rel_violation ~capacities comb_usage;
+        (* Penalized master value, for stall detection: overflow billed
+           at [pen] per unit of relative excess on each row. *)
+        let master_value =
+          let ov = ref 0.0 in
+          Array.iteri
+            (fun i u ->
+              let r = (u -. capacities.(i)) /. capacities.(i) in
+              if r > 0.0 then ov := !ov +. r)
+            comb_usage;
+          !fobj +. (!pen *. !ov)
+        in
+        let rel_impr =
+          (!prev_master_value -. master_value)
+          /. Float.max 1.0 (Float.abs master_value)
+        in
+        if Float.abs rel_impr < 1e-5 then incr stall else stall := 0;
+        prev_master_value := master_value;
+        let gap =
+          if !best_lb > 0.0 then (!frac_obj -. !best_lb) /. !best_lb
+          else infinity
+        in
+        history := (!frac_obj, !best_lb, !frac_viol) :: !history;
+        Obs.push "decomp/pass/objective" !frac_obj;
+        Obs.push "decomp/pass/lower_bound" !best_lb;
+        Obs.push "decomp/pass/violation" !frac_viol;
+        Obs.push "decomp/pass/gap" gap;
+        Obs.push "decomp/pass/stab_weight" !beta;
+        Obs.push "decomp/pass/columns" (float_of_int (Array.length !columns));
+        Log.debug (fun m ->
+            m "pass %d: obj=%.6g lb=%.6g viol=%.4f gap=%.4f beta=%.2f cols=%d"
+              !passes !frac_obj !best_lb !frac_viol gap !beta
+              (Array.length !columns));
+        if !frac_viol <= p.epsilon && gap <= p.epsilon then begin
+          if !passes_to_gap < 0 then passes_to_gap := !passes;
+          converged := true
+        end
+        else if !frac_viol <= p.epsilon && !stall >= 3 then
+          (* Feasible and the master has stopped moving: the model is
+             primal-converged; the remaining gap is the (known-loose)
+             dual-ascent bound, not missing columns. *)
+          converged := true
+        else if
+          !frac_viol > p.epsilon
+          && !passes mod 5 = 0
+          && !frac_viol > 0.9 *. !viol_anchor
+        then begin
+          (* Violation barely moved over the last five passes: the
+             overflow price is too cheap to force the mix under the
+             caps. Raise it (widening the dual box) and keep cutting. *)
+          Obs.incr "decomp/pen_raises";
+          pen := !pen *. 1.5;
+          prev_master_value := infinity
+        end;
+        if !passes mod 5 = 0 then viol_anchor := !frac_viol;
+        (* Prune zero-weight columns — except this pass's, which the
+           master has priced but the next query has not yet reacted to.
+           Convexity keeps at least one live column per block. *)
+        if not !converged then begin
+          let keep =
+            Array.mapi
+              (fun t c -> (!weights).(t) > 1e-9 || c.born >= !passes)
+              !columns
+          in
+          let n_keep = Array.fold_left (fun a k -> if k then a + 1 else a) 0 keep in
+          let n_cols = Array.length !columns in
+          if n_keep < n_cols then begin
+            Obs.incr ~by:(n_cols - n_keep) "decomp/cols_dropped";
+            let cols' = Array.make n_keep (!columns).(0) in
+            let w' = Array.make n_keep 0.0 in
+            let j = ref 0 in
+            Array.iteri
+              (fun t c ->
+                if keep.(t) then begin
+                  cols'.(!j) <- c;
+                  w'.(!j) <- (!weights).(t);
+                  incr j
+                end)
+              !columns;
+            columns := cols';
+            weights := w'
+          end
+        end
+      done;
+      if !passes_to_gap >= 0 then
+        Obs.set_gauge "decomp/passes_to_gap" (float_of_int !passes_to_gap);
+      (* Round to one integral point per block under the incumbent
+         prices, exactly like the EPF engine's final snap. *)
+      let chosen, used =
+        round_blocks ~p ~pool ~capacities ~pen:!pen ~prices:!lambda_center
+          ~columns:!columns ~weights:!weights ~oracles
+      in
+      let objective =
+        Array.fold_left (fun acc pt -> acc +. pt.Engine.obj) 0.0 chosen
+      in
+      let max_violation = rel_violation ~capacities used in
+      Log.debug (fun m ->
+          let worst = ref 0 and wv = ref neg_infinity in
+          Array.iteri
+            (fun i u ->
+              let r = (u -. capacities.(i)) /. capacities.(i) in
+              if r > !wv then begin
+                worst := i;
+                wv := r
+              end)
+            used;
+          m "rounded worst row %d: usage=%.4g cap=%.4g (%.2f%% over)" !worst
+            used.(!worst) capacities.(!worst) (100.0 *. !wv));
+      let lower_bound = if !best_lb = neg_infinity then 0.0 else !best_lb in
+      Log.info (fun m ->
+          m "master done: %d passes, %d columns, obj=%.4g lb=%.4g viol=%.2f%%"
+            !passes
+            (Array.length !columns)
+            objective lower_bound (100.0 *. max_violation));
+      {
+        Engine.combos = Array.map (fun pt -> [ (pt, 1.0) ]) chosen;
+        objective;
+        lower_bound;
+        max_violation;
+        row_usage = used;
+        passes = !passes;
+        epsilon_feasible = max_violation <= p.epsilon;
+        converged = !converged;
+        pre_round_objective = !frac_obj;
+        pre_round_violation = !frac_viol;
+        history = Array.of_list (List.rev !history);
+      })

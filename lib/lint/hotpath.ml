@@ -45,6 +45,7 @@ let roots =
     ("Fleet.serve", "serve", 5, true);
     ("Fleet.serve_routed", "serve", 5, true);
     ("Metrics.add_stream", "playout", 6, true);
+    ("Master.solve", "solve/master", 7, false);
   ]
 
 (* Iterator functions whose functional argument runs once per element:

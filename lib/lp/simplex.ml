@@ -26,7 +26,11 @@ type problem = {
 }
 
 type result =
-  | Optimal of { objective : float; solution : float array }
+  | Optimal of {
+      objective : float;
+      solution : float array;
+      duals : float array;
+    }
   | Infeasible
   | Unbounded
 
@@ -103,16 +107,21 @@ let iterate tableau basis ~n_total ~enter_limit =
 
 let solve (p : problem) =
   let m = List.length p.constraints in
-  (* Normalize: make all right-hand sides nonnegative. *)
+  (* Normalize: make all right-hand sides nonnegative. [flipped] remembers
+     which rows were negated so their duals can be reported in the
+     caller's original orientation. *)
+  let flipped = Array.make m false in
   let constraints =
-    List.map
-      (fun c ->
-        if c.rhs < 0.0 then
+    List.mapi
+      (fun r c ->
+        if c.rhs < 0.0 then begin
+          flipped.(r) <- true;
           {
             row = List.map (fun (v, a) -> (v, -.a)) c.row;
             rel = (match c.rel with Le -> Ge | Ge -> Le | Eq -> Eq);
             rhs = -.c.rhs;
           }
+        end
         else c)
       p.constraints
   in
@@ -126,6 +135,13 @@ let solve (p : problem) =
   let slack_idx = ref p.n_vars in
   let art_idx = ref (p.n_vars + n_slack) in
   let art_cols = ref [] in
+  (* Where each row's dual price can be read off the final objective row:
+     the column whose original tableau column is (+/-) the unit vector
+     e_r with zero cost — slack for Le, surplus (negated) for Ge,
+     artificial for Eq. After the phase-2 rebuild, obj_row.(j) equals
+     y.A_j - c_j for every column, so that entry is (+/-) y_r. *)
+  let dual_col = Array.make m (-1) in
+  let dual_sign = Array.make m 1.0 in
   List.iteri
     (fun r c ->
       List.iter
@@ -138,9 +154,12 @@ let solve (p : problem) =
       | Le ->
           tableau.(r).(!slack_idx) <- 1.0;
           basis.(r) <- !slack_idx;
+          dual_col.(r) <- !slack_idx;
           incr slack_idx
       | Ge ->
           tableau.(r).(!slack_idx) <- -1.0;
+          dual_col.(r) <- !slack_idx;
+          dual_sign.(r) <- -1.0;
           incr slack_idx;
           tableau.(r).(!art_idx) <- 1.0;
           basis.(r) <- !art_idx;
@@ -149,6 +168,7 @@ let solve (p : problem) =
       | Eq ->
           tableau.(r).(!art_idx) <- 1.0;
           basis.(r) <- !art_idx;
+          dual_col.(r) <- !art_idx;
           art_cols := !art_idx :: !art_cols;
           incr art_idx))
     constraints;
@@ -218,7 +238,16 @@ let solve (p : problem) =
     for v = 0 to p.n_vars - 1 do
       objective := !objective +. (p.minimize.(v) *. solution.(v))
     done;
-    Optimal { objective = !objective; solution }
+    (* Dual prices in the caller's original row orientation. Pivots keep
+       every column of the tableau current (including artificials), so
+       the objective-row entries at [dual_col] are exact. Rows negated
+       during normalization flip back here. *)
+    let duals =
+      Array.init m (fun r ->
+          let y = dual_sign.(r) *. obj_row.(dual_col.(r)) in
+          if flipped.(r) then -.y else y)
+    in
+    Optimal { objective = !objective; solution; duals }
   end
 
 let solve p = try solve p with Exit -> Infeasible

@@ -22,7 +22,20 @@ type problem = {
 }
 
 type result =
-  | Optimal of { objective : float; solution : float array }
+  | Optimal of {
+      objective : float;
+      solution : float array;
+      duals : float array;
+          (** One dual price per constraint, in input order, for the
+              constraint as written (before any internal sign
+              normalization). Convention for a minimization over
+              nonnegative variables: [Le] rows have duals <= 0, [Ge]
+              rows >= 0, [Eq] rows are free; strong duality holds
+              ([objective = sum duals.(i) *. rhs_i]) and so does
+              complementary slackness ([duals.(i) *. (activity_i -
+              rhs_i) = 0] up to solver tolerance). Redundant rows left
+              with a degenerate basic artificial get dual 0. *)
+    }
   | Infeasible
   | Unbounded
 

@@ -1,0 +1,261 @@
+(* Solver-backend registry. Every placement solver — the EPF engine, the
+   stabilized Benders/DW master, the exact simplex reference — is a named
+   entry with one shape: instance + engine params + optional incumbent in,
+   report out. Solve.solve, Pipeline, Serve.Replan and vodopt --solver all
+   dispatch through here, so adding a solver is one [register] call.
+
+   Wall-clock never appears here (wallclock-in-solver rule): phase
+   timings go through Vod_obs.Obs side-band. *)
+
+type report = {
+  solution : Solution.t;
+  lp_objective : float;
+  lp_violation : float;
+  passes : int;
+  history : (float * float * float) array;
+}
+
+type t = {
+  name : string;
+  doc : string;
+  run :
+    ?incumbent:Solution.t ->
+    params:Vod_epf.Engine.params ->
+    Instance.t ->
+    report;
+}
+
+let src = Logs.Src.create "vod.solve" ~doc:"placement solve pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Obs = Vod_obs.Obs
+module Engine = Vod_epf.Engine
+
+let registry : (string * t) list ref = ref []
+
+let register b =
+  registry := (b.name, b) :: List.remove_assoc b.name !registry
+
+let names () = List.sort String.compare (List.map fst !registry)
+
+let default = "epf"
+
+let find name =
+  match List.assoc_opt name !registry with
+  | Some b -> b
+  | None ->
+      (* vodlint-disable no-failwith -- Failure with the registered-name
+         list is the documented contract of [find]/[solve] (solve.mli). *)
+      failwith
+        (Printf.sprintf "unknown solver backend %S (registered: %s)" name
+           (String.concat ", " (names ())))
+
+(* Warm-start points: one engine point per block, rebuilt from the
+   incumbent placement. *)
+let warm_points inst blocks sol =
+  Obs.phase "warm_points" (fun () ->
+      Array.map (fun b -> Solution.engine_point inst b ~incumbent:sol) blocks)
+
+(* ---- "epf": the exponential-potential-function engine (default). ---- *)
+
+let epf_run ?incumbent ~params inst =
+  let blocks, oracles = Obs.phase "blocks" (fun () -> Blocks.oracles inst) in
+  let capacities = Instance.capacities inst in
+  let initial = Option.map (warm_points inst blocks) incumbent in
+  let outcome =
+    Obs.phase "engine" (fun () ->
+        Engine.solve ~round:true ?initial params ~capacities ~oracles)
+  in
+  let solution =
+    Obs.phase "extract" (fun () -> Solution.of_outcome inst outcome)
+  in
+  {
+    solution;
+    lp_objective = outcome.Engine.pre_round_objective;
+    lp_violation = outcome.Engine.pre_round_violation;
+    passes = outcome.Engine.passes;
+    history = outcome.Engine.history;
+  }
+
+(* ---- "benders": stabilized cutting-plane master over the same
+   oracles. The engine params map onto the master's: epsilon,
+   max_passes, polish_passes, jobs; stabilization keeps its defaults. *)
+
+let benders_run ?incumbent ~params inst =
+  let blocks, oracles = Obs.phase "blocks" (fun () -> Blocks.oracles inst) in
+  let capacities = Instance.capacities inst in
+  let initial = Option.map (warm_points inst blocks) incumbent in
+  (* Seed the incumbent price vector with the greedy-fill disk duals —
+     the same warm prices the oracles' initial points assume. *)
+  let initial_prices =
+    let rp = Array.make (Instance.n_rows inst) 0.0 in
+    Array.iteri
+      (fun i price -> rp.(Instance.disk_row inst i) <- price)
+      (Blocks.warm_disk_prices inst);
+    rp
+  in
+  let mp =
+    {
+      Vod_decomp.Master.default_params with
+      Vod_decomp.Master.epsilon = params.Engine.epsilon;
+      max_passes = params.Engine.max_passes;
+      jobs = params.Engine.jobs;
+      polish_passes = params.Engine.polish_passes;
+    }
+  in
+  let outcome =
+    Obs.phase "master" (fun () ->
+        Vod_decomp.Master.solve ?initial ~initial_prices mp ~capacities
+          ~oracles)
+  in
+  let solution =
+    Obs.phase "extract" (fun () -> Solution.of_outcome inst outcome)
+  in
+  {
+    solution;
+    lp_objective = outcome.Engine.pre_round_objective;
+    lp_violation = outcome.Engine.pre_round_violation;
+    passes = outcome.Engine.passes;
+    history = outcome.Engine.history;
+  }
+
+(* ---- "simplex": the exact monolithic LP (Lp_check.build), rounded by
+   y >= 1/2 / largest-x extraction. Ground truth on small instances;
+   the tableau outgrows memory beyond a few thousand nonzeros. *)
+
+let simplex_run ?incumbent ~params inst =
+  ignore incumbent;
+  (* the dense tableau has no warm-start path *)
+  let lp =
+    Obs.phase "lp" (fun () -> Lp_check.solve_reference inst)
+  in
+  match lp with
+  | Vod_lp.Simplex.Infeasible ->
+      (* vodlint-disable no-failwith -- caller-facing diagnosis, same
+         Failure contract as the registry lookup above *)
+      failwith "simplex backend: placement LP is infeasible"
+  | Vod_lp.Simplex.Unbounded ->
+      (* vodlint-disable no-failwith -- ditto *)
+      failwith "simplex backend: placement LP is unbounded"
+  | Vod_lp.Simplex.Optimal { objective; solution = x; duals = _ } ->
+      let blocks = Obs.phase "blocks" (fun () -> Blocks.build_blocks inst) in
+      let n = Instance.n_vhos inst in
+      let points =
+        Obs.phase "extract_points" (fun () ->
+            Array.map
+              (fun (b : Blocks.block) ->
+                let video = b.Blocks.video in
+                let open_set =
+                  Array.init n (fun i ->
+                      x.(Lp_check.y_var ~n ~video i) >= 0.5)
+                in
+                let assign =
+                  Array.map
+                    (fun (c : Blocks.client) ->
+                      let best = ref 0 and best_x = ref neg_infinity in
+                      for i = 0 to n - 1 do
+                        let xi =
+                          x.(Lp_check.x_var ~n ~video ~server:i
+                               ~client:c.Blocks.vho)
+                        in
+                        if xi > !best_x +. 1e-12 then begin
+                          best := i;
+                          best_x := xi
+                        end
+                      done;
+                      !best)
+                    b.Blocks.clients
+                in
+                Array.iter (fun s -> open_set.(s) <- true) assign;
+                if not (Array.exists Fun.id open_set) then begin
+                  (* Zero-demand video: the LP leaves it unplaced, but a
+                     Solution.t requires one copy. Pin the largest y
+                     (lowest index on ties, 0 when all-zero). *)
+                  let best = ref 0 and best_y = ref neg_infinity in
+                  for i = 0 to n - 1 do
+                    let yi = x.(Lp_check.y_var ~n ~video i) in
+                    if yi > !best_y +. 1e-12 then begin
+                      best := i;
+                      best_y := yi
+                    end
+                  done;
+                  open_set.(!best) <- true
+                end;
+                Blocks.point_of_solution inst b
+                  { Vod_facility.Ufl.open_set; assign; cost = 0.0 })
+              blocks)
+      in
+      let capacities = Instance.capacities inst in
+      let row_usage = Array.make (Instance.n_rows inst) 0.0 in
+      let total_obj = ref 0.0 in
+      Array.iter
+        (fun (p : _ Engine.point) ->
+          total_obj := !total_obj +. p.Engine.obj;
+          Vod_epf.Sparse.add_into row_usage 1.0 p.Engine.usage)
+        points;
+      let max_violation =
+        Array.fold_left max 0.0
+          (Array.mapi
+             (fun i u -> (u -. capacities.(i)) /. capacities.(i))
+             row_usage)
+      in
+      let max_violation = Float.max 0.0 max_violation in
+      let outcome =
+        {
+          Engine.combos = Array.map (fun p -> [ (p, 1.0) ]) points;
+          objective = !total_obj;
+          lower_bound = objective;
+          max_violation;
+          row_usage;
+          passes = 1;
+          epsilon_feasible = max_violation <= params.Engine.epsilon;
+          converged = true;
+          pre_round_objective = objective;
+          pre_round_violation = 0.0;
+          history = [| (!total_obj, objective, max_violation) |];
+        }
+      in
+      let solution =
+        Obs.phase "extract" (fun () -> Solution.of_outcome inst outcome)
+      in
+      {
+        solution;
+        lp_objective = objective;
+        lp_violation = 0.0;
+        passes = 1;
+        history = outcome.Engine.history;
+      }
+
+let () =
+  register
+    {
+      name = "epf";
+      doc = "exponential-potential-function engine (paper's solver, default)";
+      run = epf_run;
+    };
+  register
+    {
+      name = "benders";
+      doc = "stabilized Benders/Dantzig-Wolfe cutting-plane master";
+      run = benders_run;
+    };
+  register
+    {
+      name = "simplex";
+      doc = "exact dense-LP reference (small instances only)";
+      run = simplex_run;
+    }
+
+let solve ?(solver = default) ?(params = Engine.default_params) ?incumbent
+    (inst : Instance.t) =
+  let b = find solver in
+  let report = Obs.phase "solve" (fun () -> b.run ?incumbent ~params inst) in
+  Log.info (fun m ->
+      m "solved %d videos on %d VHOs: obj=%.4g lb=%.4g gap=%.2f%% viol=%.2f%% (%d passes)"
+        report.solution.Solution.n_videos report.solution.Solution.n_vhos
+        report.solution.Solution.objective report.solution.Solution.lower_bound
+        (100.0 *. Solution.gap report.solution)
+        (100.0 *. report.solution.Solution.max_violation)
+        report.passes);
+  report

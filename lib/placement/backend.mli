@@ -1,0 +1,64 @@
+(** Uniform solver-backend interface: a registry of named placement
+    solvers, all [Instance.t -> report]-shaped with the same warm-start
+    and metrics hooks.
+
+    Three backends register themselves at load time:
+
+    - ["epf"] (the default) — the exponential-potential-function engine
+      ({!Vod_epf.Engine}), the paper's solver;
+    - ["benders"] — the stabilized Dantzig-Wolfe / Benders cutting-plane
+      master ({!Vod_decomp.Master}), sharing the same per-video UFL
+      oracles;
+    - ["simplex"] — the exact dense-LP reference ({!Lp_check} +
+      {!Vod_lp.Simplex}), viable only on small instances.
+
+    Every backend is deterministic at any [Engine.params.jobs] count and
+    records its phase timings through {!Vod_obs.Obs} under the same
+    [phase/solve/...] namespace. *)
+
+type report = {
+  solution : Solution.t;  (** the rounded integral placement *)
+  lp_objective : float;  (** fractional objective before rounding *)
+  lp_violation : float;  (** max relative violation before rounding *)
+  passes : int;  (** main-loop passes run by the backend *)
+  history : (float * float * float) array;
+      (** per-pass (objective, lower bound, violation) fractional
+          convergence trace; a single entry for one-shot backends *)
+}
+
+type t = {
+  name : string;
+  doc : string;  (** one-line description, shown in error messages *)
+  run :
+    ?incumbent:Solution.t ->
+    params:Vod_epf.Engine.params ->
+    Instance.t ->
+    report;
+      (** [incumbent] warm-starts the backend from an existing
+          placement where supported (EPF initial points, Benders seed
+          column; the simplex reference ignores it). *)
+}
+
+(** Add a backend (or replace one with the same name). *)
+val register : t -> unit
+
+(** Look up a backend by name. Raises [Failure] with a message listing
+    every registered backend when the name is unknown. *)
+val find : string -> t
+
+(** Registered backend names, sorted. *)
+val names : unit -> string list
+
+(** ["epf"] — the default backend; callers that don't take a solver
+    choice keep their exact pre-registry behavior. *)
+val default : string
+
+(** [solve ?solver ?params ?incumbent inst] dispatches to the named
+    backend (default {!default}). This is the single entry point behind
+    {!Solve.solve}, [Pipeline], [Serve.Replan] and [vodopt --solver]. *)
+val solve :
+  ?solver:string ->
+  ?params:Vod_epf.Engine.params ->
+  ?incumbent:Solution.t ->
+  Instance.t ->
+  report

@@ -1,54 +1,15 @@
-(* End-to-end MIP solve: build blocks, run the EPF decomposition, round,
-   and extract the integral placement. Wall-clock never appears here —
-   phase timings go through Vod_obs.Obs (side-band, --metrics only),
-   which is what lets the wallclock-in-solver lint rule hold with no
-   suppressions in this file. *)
+(* End-to-end MIP solve, now a thin dispatcher: the work lives in the
+   named solver backends behind Backend (EPF by default). Kept as a
+   module so the historical call sites — pipeline, daemon, benches,
+   tests — keep reading Solve.solve / Solve.report. *)
 
-type report = {
+type report = Backend.report = {
   solution : Solution.t;
   lp_objective : float;      (* fractional objective before rounding *)
   lp_violation : float;      (* max relative violation before rounding *)
   passes : int;
+  history : (float * float * float) array;
 }
 
-let src = Logs.Src.create "vod.solve" ~doc:"placement solve pipeline"
-
-module Log = (val Logs.src_log src : Logs.LOG)
-
-module Obs = Vod_obs.Obs
-
-let solve ?(params = Vod_epf.Engine.default_params) ?incumbent
-    (inst : Instance.t) =
-  Obs.phase "solve" @@ fun () ->
-  let blocks, oracles = Obs.phase "blocks" (fun () -> Blocks.oracles inst) in
-  let capacities = Instance.capacities inst in
-  (* Warm start: one engine point per block, rebuilt from the incumbent
-     placement, replaces the single-facility/greedy-dual initial sweep. *)
-  let initial =
-    match incumbent with
-    | None -> None
-    | Some sol ->
-        Some
-          (Obs.phase "warm_points" (fun () ->
-               Array.map (fun b -> Solution.engine_point inst b ~incumbent:sol) blocks))
-  in
-  let outcome =
-    Obs.phase "engine" (fun () ->
-        Vod_epf.Engine.solve ~round:true ?initial params ~capacities ~oracles)
-  in
-  let solution =
-    Obs.phase "extract" (fun () -> Solution.of_outcome inst outcome)
-  in
-  Log.info (fun m ->
-      m "solved %d videos on %d VHOs: obj=%.4g lb=%.4g gap=%.2f%% viol=%.2f%% (%d passes)"
-        solution.Solution.n_videos solution.Solution.n_vhos
-        solution.Solution.objective solution.Solution.lower_bound
-        (100.0 *. Solution.gap solution)
-        (100.0 *. solution.Solution.max_violation)
-        outcome.Vod_epf.Engine.passes);
-  {
-    solution;
-    lp_objective = outcome.Vod_epf.Engine.pre_round_objective;
-    lp_violation = outcome.Vod_epf.Engine.pre_round_violation;
-    passes = outcome.Vod_epf.Engine.passes;
-  }
+let solve ?solver ?params ?incumbent (inst : Instance.t) =
+  Backend.solve ?solver ?params ?incumbent inst

@@ -1,29 +1,38 @@
-(** End-to-end placement solve: block construction, EPF decomposition,
-    rounding, extraction.
+(** End-to-end placement solve: block construction, decomposition (or
+    exact LP), rounding, extraction — dispatched through the
+    {!Backend} registry, EPF by default.
 
     The pipeline is deterministic: the report is a pure function of
-    [(inst, params)] at any [Engine.params.jobs] count. Wall-clock
-    timing is deliberately absent from {!report} — phase timings are
-    recorded side-band through {!Vod_obs.Obs.phase} (keys
-    [phase/solve/..._seconds], collected only when a [--metrics]
+    [(inst, solver, params, incumbent)] at any [Engine.params.jobs]
+    count. Wall-clock timing is deliberately absent from {!report} —
+    phase timings are recorded side-band through {!Vod_obs.Obs.phase}
+    (keys [phase/solve/..._seconds], collected only when a [--metrics]
     registry is installed); callers that want an end-to-end duration
     time the {!solve} call themselves. *)
 
-type report = {
+type report = Backend.report = {
   solution : Solution.t;  (** the rounded integral placement *)
   lp_objective : float;  (** fractional objective before rounding *)
   lp_violation : float;  (** max relative violation before rounding *)
-  passes : int;  (** EPF passes run by the engine's main loop *)
+  passes : int;  (** main-loop passes run by the backend *)
+  history : (float * float * float) array;
+      (** per-pass (objective, lower bound, violation) fractional trace *)
 }
 
 val solve :
-  ?params:Vod_epf.Engine.params -> ?incumbent:Solution.t -> Instance.t -> report
-(** Solve an instance with the given engine parameters (defaults:
-    [Vod_epf.Engine.default_params]). [incumbent], when given,
-    warm-starts the EPF engine from that placement
+  ?solver:string ->
+  ?params:Vod_epf.Engine.params ->
+  ?incumbent:Solution.t ->
+  Instance.t ->
+  report
+(** Solve an instance with the named backend (default
+    {!Backend.default}, i.e. ["epf"]) and the given engine parameters
+    (defaults: [Vod_epf.Engine.default_params]). [incumbent], when
+    given, warm-starts the backend from that placement
     ({!Solution.engine_point} per block) instead of the single-facility
     initial sweep — the entry the online re-placement daemon uses to
     re-solve from where the fleet already is. The report stays a
-    deterministic function of [(inst, params, incumbent)] at any job
-    count. Logs a one-line summary at info level on the [vod.solve]
-    source. *)
+    deterministic function of [(inst, solver, params, incumbent)] at
+    any job count. Raises [Failure] listing the registered backends
+    when [solver] is unknown. Logs a one-line summary at info level on
+    the [vod.solve] source. *)

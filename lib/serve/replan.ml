@@ -19,6 +19,7 @@ type problem = {
   n_windows : int;
   window_s : float;
   engine : Vod_epf.Engine.params;
+  solver : string;                (* backend name for Solve.solve *)
 }
 
 (* Disk left to a VHO the fault state reports dark: effectively nothing,
@@ -61,7 +62,7 @@ let solve ?incumbent ?down_vhos pb demand =
         (Vod_placement.Instance.uniform_links pb.graph pb.link_capacity_mbps)
       ()
   in
-  Vod_placement.Solve.solve ~params:pb.engine ?incumbent inst
+  Vod_placement.Solve.solve ~solver:pb.solver ~params:pb.engine ?incumbent inst
 
 (* An incremental placement delta: how much of the target placement was
    adopted under the migration budget. *)

@@ -17,6 +17,9 @@ type problem = {
   n_windows : int;
   window_s : float;
   engine : Vod_epf.Engine.params;
+  solver : string;
+      (** solver-backend name dispatched to {!Vod_placement.Backend}
+          (["epf"] for the historical behavior) *)
 }
 
 (** Disk left to a VHO the fault state reports dark (strictly positive

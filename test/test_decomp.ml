@@ -1,0 +1,216 @@
+(* Tests for the solver-backend registry and the Benders/Dantzig-Wolfe
+   master: registry dispatch and its error message, the simplex backend
+   against the recorded exact LP objective, the Benders fractional point
+   against the exact LP on a tiny instance, jobs-count bit-identity,
+   warm starts, and daemon replanning through a non-default backend. *)
+
+module I = Vod_placement.Instance
+module Sol = Vod_placement.Solution
+module Solve = Vod_placement.Solve
+module Backend = Vod_placement.Backend
+module Master = Vod_decomp.Master
+module G = Vod_topology.Graph
+module P = Vod_core.Pipeline
+
+(* The same tiny deterministic world test_placement uses: 4 VHOs on a
+   ring, 8 videos, 7 days, 2 windows. *)
+let tiny_instance ?(disk_mult = 2.0) ?(link = 200.0) () =
+  let graph =
+    G.create ~name:"ring4" ~n:4
+      ~edges:[ (0, 1); (1, 2); (2, 3); (3, 0) ]
+      ~populations:[| 4.0; 3.0; 2.0; 1.0 |]
+  in
+  let catalog =
+    Vod_workload.Catalog.generate
+      (Vod_workload.Catalog.default_params ~n:8 ~days:7 ~seed:11)
+  in
+  let trace =
+    Vod_workload.Tracegen.generate
+      (Vod_workload.Tracegen.default_params ~catalog
+         ~populations:graph.G.populations ~mean_daily_requests:600.0 ~seed:12)
+  in
+  let demand =
+    Vod_workload.Demand.of_requests catalog ~n_vhos:4 ~day0:0 ~days:7
+      ~n_windows:2 ~window_s:3600.0 trace.Vod_workload.Trace.requests
+  in
+  let total = Vod_workload.Catalog.total_size_gb catalog in
+  I.create ~graph ~catalog ~demand
+    ~disk_gb:(I.uniform_disk ~total_gb:(disk_mult *. total) 4)
+    ~link_capacity_mbps:(I.uniform_links graph link)
+    ()
+
+let exact_lp_objective inst =
+  match Vod_placement.Lp_check.solve_reference inst with
+  | Vod_lp.Simplex.Optimal { objective; _ } -> objective
+  | _ -> Alcotest.fail "reference LP must be optimal"
+
+(* ---------- registry ---------- *)
+
+let registry_contents () =
+  Alcotest.(check (list string))
+    "registered backends"
+    [ "benders"; "epf"; "simplex" ]
+    (Backend.names ());
+  Alcotest.(check string) "default" "epf" Backend.default;
+  List.iter
+    (fun n ->
+      Alcotest.(check string) "find roundtrip" n (Backend.find n).Backend.name)
+    (Backend.names ())
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let unknown_backend_lists_names () =
+  match Solve.solve ~solver:"nope" (tiny_instance ()) with
+  | _ -> Alcotest.fail "unknown backend must raise"
+  | exception Failure msg ->
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error mentions %S" n)
+            true (contains msg n))
+        [ "nope"; "benders"; "epf"; "simplex" ]
+
+(* ---------- simplex backend ---------- *)
+
+(* The exact fractional optimum of the tiny instance, recorded from
+   Lp_check.solve_reference; guards the whole build+extract path. *)
+let recorded_tiny_lp_objective = 3527.1
+
+let simplex_matches_recorded_objective () =
+  let inst = tiny_instance () in
+  let report = Solve.solve ~solver:"simplex" inst in
+  Alcotest.(check (float 1e-4))
+    "recorded exact objective" recorded_tiny_lp_objective
+    report.Solve.lp_objective;
+  Alcotest.(check (float 1e-9))
+    "bit-matches the reference LP" (exact_lp_objective inst)
+    report.Solve.lp_objective;
+  Alcotest.(check (float 1e-12)) "exact LP has no violation" 0.0
+    report.Solve.lp_violation;
+  Alcotest.(check int) "one pass" 1 report.Solve.passes
+
+(* ---------- benders backend ---------- *)
+
+let benders_reaches_exact_lp () =
+  let inst = tiny_instance () in
+  let exact = exact_lp_objective inst in
+  let report = Solve.solve ~solver:"benders" inst in
+  let rel = (report.Solve.lp_objective -. exact) /. exact in
+  Alcotest.(check bool)
+    (Printf.sprintf "fractional objective within 1%% of exact (rel %.4f)" rel)
+    true
+    (rel < 0.01 && rel > -1e-6);
+  Alcotest.(check bool) "fractional point feasible at epsilon" true
+    (report.Solve.lp_violation <= 0.01);
+  let sol = report.Solve.solution in
+  Alcotest.(check int) "all videos placed" 8 sol.Sol.n_videos;
+  Array.iter
+    (fun row ->
+      Alcotest.(check bool) "every video has a copy" true
+        (Array.length row > 0))
+    sol.Sol.stored
+
+let benders_jobs_bit_identical () =
+  let inst = tiny_instance () in
+  let solve jobs =
+    Solve.solve ~solver:"benders"
+      ~params:{ Vod_epf.Engine.default_params with Vod_epf.Engine.jobs }
+      inst
+  in
+  let a = solve 1 and b = solve 4 in
+  Alcotest.(check bool) "objective bit-equal" true
+    (a.Solve.solution.Sol.objective = b.Solve.solution.Sol.objective);
+  Alcotest.(check bool) "lp objective bit-equal" true
+    (a.Solve.lp_objective = b.Solve.lp_objective);
+  Alcotest.(check bool) "placement identical" true
+    (a.Solve.solution.Sol.stored = b.Solve.solution.Sol.stored);
+  Alcotest.(check bool) "history bit-equal" true
+    (a.Solve.history = b.Solve.history)
+
+let benders_warm_start_runs () =
+  let inst = tiny_instance () in
+  let cold = Solve.solve ~solver:"benders" inst in
+  let warm =
+    Solve.solve ~solver:"benders" ~incumbent:cold.Solve.solution inst
+  in
+  Alcotest.(check bool) "warm solve produces a placement" true
+    (Array.length warm.Solve.solution.Sol.stored = 8);
+  Alcotest.(check bool) "warm fractional point stays feasible" true
+    (warm.Solve.lp_violation <= 0.01);
+  let exact = exact_lp_objective inst in
+  Alcotest.(check bool) "warm objective still within 1% of exact" true
+    ((warm.Solve.lp_objective -. exact) /. exact < 0.01)
+
+(* ---------- master validation ---------- *)
+
+let master_rejects_bad_inputs () =
+  let oracle_absent : unit Vod_epf.Engine.oracle array = [||] in
+  Alcotest.check_raises "no blocks"
+    (Invalid_argument "Decomp.Master.solve: no blocks") (fun () ->
+      ignore
+        (Master.solve Master.default_params ~capacities:[| 1.0 |]
+           ~oracles:oracle_absent))
+
+(* ---------- daemon through a non-default backend ---------- *)
+
+let daemon_benders_deterministic () =
+  let graph =
+    G.create ~name:"ring6" ~n:6
+      ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0); (0, 3) ]
+      ~populations:[| 3.0; 1.0; 2.0; 1.0; 1.0; 1.0 |]
+  in
+  let sc =
+    Vod_core.Scenario.make ~days:4 ~requests_per_video_per_day:8.0 ~seed:13
+      ~graph ~n_videos:16 ()
+  in
+  let cfg =
+    P.default_config ~scenario:sc
+      ~disk_gb:(Vod_core.Scenario.uniform_disk sc ~multiple:2.5)
+      ~link_capacity_mbps:500.0
+  in
+  let mip =
+    {
+      P.default_mip with
+      P.engine =
+        { Vod_epf.Engine.default_params with Vod_epf.Engine.max_passes = 10 };
+      P.solver = "benders";
+      P.update_days = 2;
+    }
+  in
+  let run () =
+    Vod_serve.Daemon.run ~graph:sc.Vod_core.Scenario.graph
+      ~paths:sc.Vod_core.Scenario.paths ~catalog:sc.Vod_core.Scenario.catalog
+      ~trace:sc.Vod_core.Scenario.trace
+      ~problem:(P.replan_problem cfg mip)
+      ~bin_s:cfg.P.bin_s ~record_from:0.0 Vod_serve.Daemon.default_config
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "final placement byte-identical" true
+    (a.Vod_serve.Daemon.final.Sol.stored = b.Vod_serve.Daemon.final.Sol.stored);
+  Alcotest.(check bool) "final objective bit-equal" true
+    (a.Vod_serve.Daemon.final.Sol.objective
+    = b.Vod_serve.Daemon.final.Sol.objective);
+  Alcotest.(check int) "same replan count"
+    (List.length a.Vod_serve.Daemon.replans)
+    (List.length b.Vod_serve.Daemon.replans)
+
+let suite =
+  [
+    Alcotest.test_case "registry contents" `Quick registry_contents;
+    Alcotest.test_case "unknown backend lists names" `Quick
+      unknown_backend_lists_names;
+    Alcotest.test_case "simplex backend: recorded objective" `Quick
+      simplex_matches_recorded_objective;
+    Alcotest.test_case "benders reaches the exact LP" `Quick
+      benders_reaches_exact_lp;
+    Alcotest.test_case "benders jobs 1 = jobs 4 (bit)" `Quick
+      benders_jobs_bit_identical;
+    Alcotest.test_case "benders warm start" `Quick benders_warm_start_runs;
+    Alcotest.test_case "master input validation" `Quick
+      master_rejects_bad_inputs;
+    Alcotest.test_case "daemon replans via benders deterministically" `Quick
+      daemon_benders_deterministic;
+  ]

@@ -6,9 +6,53 @@ module S = Vod_lp.Simplex
 
 let solve_opt p =
   match S.solve p with
-  | S.Optimal { objective; solution } -> (objective, solution)
+  | S.Optimal { objective; solution; _ } -> (objective, solution)
   | S.Infeasible -> Alcotest.fail "unexpected infeasible"
   | S.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let solve_duals p =
+  match S.solve p with
+  | S.Optimal { objective; solution; duals } -> (objective, solution, duals)
+  | S.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+(* Row activity a.x for a sparse constraint row at point [x]. *)
+let activity row x =
+  List.fold_left (fun acc (v, a) -> acc +. (a *. x.(v))) 0.0 row
+
+(* The dual contract from the mli: strong duality, sign conventions per
+   relation, and complementary slackness — all in the caller's original
+   row orientation. *)
+let check_dual_contract ?(tol = 1e-6) p =
+  let objective, solution, duals = solve_duals p in
+  Alcotest.(check int)
+    "one dual per constraint"
+    (List.length p.S.constraints)
+    (Array.length duals);
+  let dual_obj =
+    List.fold_left (fun acc (c, y) -> acc +. (c.S.rhs *. y)) 0.0
+      (List.combine p.S.constraints (Array.to_list duals))
+  in
+  Alcotest.(check (float tol)) "strong duality" objective dual_obj;
+  List.iteri
+    (fun i c ->
+      let y = duals.(i) in
+      (match c.S.rel with
+      | S.Le ->
+          Alcotest.(check bool)
+            (Printf.sprintf "row %d: Le dual nonpositive" i)
+            true (y <= tol)
+      | S.Ge ->
+          Alcotest.(check bool)
+            (Printf.sprintf "row %d: Ge dual nonnegative" i)
+            true (y >= -.tol)
+      | S.Eq -> ());
+      let slack = c.S.rhs -. activity c.S.row solution in
+      Alcotest.(check (float tol))
+        (Printf.sprintf "row %d: complementary slackness" i)
+        0.0 (y *. slack))
+    p.S.constraints;
+  (objective, solution, duals)
 
 let check_obj = Alcotest.(check (float 1e-6))
 
@@ -105,6 +149,103 @@ let degenerate_no_cycle () =
   let obj, _ = solve_opt p in
   Alcotest.(check bool) "finite optimum" true (Float.is_finite obj)
 
+let duals_basic_le () =
+  (* min -x - y s.t. x + y <= 4, x <= 2: both rows bind; y = (-1, 0)
+     by inspection of the dual (max -4y1 - 2y2, y <= 0, y1+y2 <= -1,
+     y1 <= -1). *)
+  let p =
+    {
+      S.n_vars = 2;
+      minimize = [| -1.0; -1.0 |];
+      constraints =
+        [
+          { S.row = [ (0, 1.0); (1, 1.0) ]; rel = S.Le; rhs = 4.0 };
+          { S.row = [ (0, 1.0) ]; rel = S.Le; rhs = 2.0 };
+        ];
+    }
+  in
+  let _, _, duals = check_dual_contract p in
+  check_obj "binding row price" (-1.0) duals.(0);
+  check_obj "slack-free second row" 0.0 duals.(1)
+
+let duals_negative_rhs () =
+  (* min x s.t. -x <= -3: reported in the original orientation, so the
+     Le row keeps a nonpositive dual (-1) even though it is solved
+     internally as x >= 3 with dual +1. *)
+  let p =
+    {
+      S.n_vars = 1;
+      minimize = [| 1.0 |];
+      constraints = [ { S.row = [ (0, -1.0) ]; rel = S.Le; rhs = -3.0 } ];
+    }
+  in
+  let _, _, duals = check_dual_contract p in
+  check_obj "flipped row dual" (-1.0) duals.(0)
+
+let duals_equality_mix () =
+  (* The with_equality instance: x + y = 3 (free dual), y >= 1. At the
+     optimum x=2, y=1: dual of the Eq row is the marginal cost of one
+     more unit of rhs (=1, routed through x), the Ge row prices y's
+     excess cost (2 - 1 = 1). *)
+  let p =
+    {
+      S.n_vars = 2;
+      minimize = [| 1.0; 2.0 |];
+      constraints =
+        [
+          { S.row = [ (0, 1.0); (1, 1.0) ]; rel = S.Eq; rhs = 3.0 };
+          { S.row = [ (1, 1.0) ]; rel = S.Ge; rhs = 1.0 };
+        ];
+    }
+  in
+  let _, _, duals = check_dual_contract p in
+  check_obj "equality row price" 1.0 duals.(0);
+  check_obj "lower-bound row price" 1.0 duals.(1)
+
+let duals_transport_contract () =
+  (* Degenerate-prone assignment LP: exact prices are not unique, so
+     only the contract (strong duality + signs + slackness) is
+     asserted. *)
+  let p =
+    {
+      S.n_vars = 4;
+      minimize = [| 1.0; 3.0; 2.0; 1.0 |];
+      constraints =
+        [
+          { S.row = [ (0, 1.0); (1, 1.0) ]; rel = S.Eq; rhs = 1.0 };
+          { S.row = [ (2, 1.0); (3, 1.0) ]; rel = S.Eq; rhs = 1.0 };
+          { S.row = [ (0, 1.0); (2, 1.0) ]; rel = S.Le; rhs = 1.0 };
+          { S.row = [ (1, 1.0); (3, 1.0) ]; rel = S.Le; rhs = 1.0 };
+        ];
+    }
+  in
+  ignore (check_dual_contract p)
+
+let duals_lp_check_residuals () =
+  (* Duals of the full placement LP (Lp_check.build on a tiny instance)
+     must satisfy the same contract: strong duality against the exact
+     objective and zero complementary-slackness residuals row by row.
+     This is the form the decomposition master consumes. *)
+  let graph =
+    Vod_topology.Graph.create ~name:"ring4" ~n:4
+      ~edges:[ (0, 1); (1, 2); (2, 3); (3, 0) ]
+      ~populations:[| 4.0; 3.0; 2.0; 1.0 |]
+  in
+  let sc =
+    Vod_core.Scenario.make ~days:7 ~requests_per_video_per_day:6.0 ~seed:5
+      ~graph ~n_videos:6 ()
+  in
+  let demand = Vod_core.Scenario.demand_of_week sc ~day0:0 () in
+  let inst =
+    Vod_placement.Instance.create ~graph ~catalog:sc.Vod_core.Scenario.catalog
+      ~demand
+      ~disk_gb:(Vod_core.Scenario.uniform_disk sc ~multiple:2.0)
+      ~link_capacity_mbps:(Vod_placement.Instance.uniform_links graph 200.0)
+      ()
+  in
+  let p = Vod_placement.Lp_check.build inst in
+  ignore (check_dual_contract ~tol:1e-5 p)
+
 let duality_transport () =
   (* Tiny transportation problem; optimal value known by inspection.
      min 1*x00 + 3*x01 + 2*x10 + 1*x11
@@ -146,13 +287,22 @@ let prop_random_2var =
         }
       in
       match S.solve p with
-      | S.Optimal { objective; solution } ->
+      | S.Optimal { objective; solution; duals } ->
           (* Feasibility of the returned point. *)
           let x = solution.(0) and y = solution.(1) in
           let feas =
             x >= -1e-9 && y >= -1e-9
             && x +. (2.0 *. y) <= b1 +. 1e-6
             && (2.0 *. x) +. y <= b2 +. 1e-6
+          in
+          (* Dual contract: strong duality, Le signs, slackness. *)
+          let dual_ok =
+            Float.abs ((duals.(0) *. b1) +. (duals.(1) *. b2) -. objective)
+            <= 1e-5
+            && duals.(0) <= 1e-9
+            && duals.(1) <= 1e-9
+            && Float.abs (duals.(0) *. (b1 -. x -. (2.0 *. y))) <= 1e-5
+            && Float.abs (duals.(1) *. (b2 -. (2.0 *. x) -. y)) <= 1e-5
           in
           (* Grid scan lower bound on the best objective. *)
           let best = ref 0.0 in
@@ -167,7 +317,7 @@ let prop_random_2var =
               end
             done
           done;
-          feas && objective <= !best +. 1e-6
+          feas && dual_ok && objective <= !best +. 1e-6
       | S.Infeasible | S.Unbounded -> false)
 
 let suite =
@@ -179,5 +329,10 @@ let suite =
     Alcotest.test_case "negative rhs" `Quick negative_rhs_normalized;
     Alcotest.test_case "degenerate (Bland)" `Quick degenerate_no_cycle;
     Alcotest.test_case "transport duality" `Quick duality_transport;
+    Alcotest.test_case "duals: basic <=" `Quick duals_basic_le;
+    Alcotest.test_case "duals: flipped rhs orientation" `Quick duals_negative_rhs;
+    Alcotest.test_case "duals: equality + >=" `Quick duals_equality_mix;
+    Alcotest.test_case "duals: transport contract" `Quick duals_transport_contract;
+    Alcotest.test_case "duals: placement LP residuals" `Quick duals_lp_check_residuals;
     QCheck_alcotest.to_alcotest prop_random_2var;
   ]

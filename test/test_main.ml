@@ -9,6 +9,7 @@ let () =
       ("facility", Test_facility.suite);
       ("epf", Test_epf.suite);
       ("placement", Test_placement.suite);
+      ("decomp", Test_decomp.suite);
       ("cache", Test_cache.suite);
       ("cache2", Test_cache2.suite);
       ("sim", Test_sim.suite);

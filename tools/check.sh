@@ -92,6 +92,48 @@ if ! diff -u "$smoke_dir/metrics1.inv" "$smoke_dir/metrics4.inv"; then
   echo "FAIL: non-time metrics differ between --jobs 1 and --jobs 4" >&2
   exit 1
 fi
+echo "== Benders determinism smoke: --jobs 1 vs --jobs 4 =="
+# The cutting-plane backend shares the pool's determinism contract: cut
+# generation and bound sweeps fan out through the pool, the master LP
+# and the rounding sweep are sequential, so the report must be
+# byte-identical at any job count.
+for j in 1 4; do
+  dune exec --no-print-directory bin/vodopt.exe -- solve \
+    --topology ebone --videos 150 --days 7 --requests-per-video 6 \
+    --disk 4 --passes 20 --solver benders --jobs "$j" \
+    --metrics "$smoke_dir/benders_metrics$j.json" \
+    | grep -v '^time' > "$smoke_dir/benders$j.out"
+done
+if ! diff -u "$smoke_dir/benders1.out" "$smoke_dir/benders4.out"; then
+  echo "FAIL: benders output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+for j in 1 4; do
+  grep -vE '_seconds|"pool/sched/|"mem/' "$smoke_dir/benders_metrics$j.json" \
+    > "$smoke_dir/benders_metrics$j.inv"
+done
+if ! diff -u "$smoke_dir/benders_metrics1.inv" "$smoke_dir/benders_metrics4.inv"; then
+  echo "FAIL: non-time benders metrics differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+echo "== EPF vs Benders rounded-cost agreement =="
+# On a loosely-capacitated quick instance both backends must land on
+# nearly the same rounded cost (within 2 x epsilon relative) — this
+# pins the two solver backends to each other end to end through the
+# registry, not just to their own histories.
+for s in epf benders; do
+  dune exec --no-print-directory bin/vodopt.exe -- solve \
+    --topology ebone --videos 200 --days 7 --requests-per-video 6 \
+    --disk 8 --passes 60 --solver "$s" \
+    | sed -n 's/^MIP objective *\([0-9.]*\).*/\1/p' > "$smoke_dir/cost_$s"
+done
+awk -v a="$(cat "$smoke_dir/cost_epf")" -v b="$(cat "$smoke_dir/cost_benders")" \
+  'BEGIN {
+     if (a == "" || b == "") { print "FAIL: missing MIP objective line"; exit 1 }
+     d = (a > b ? a - b : b - a) / b;
+     printf "   EPF %s vs Benders %s (rel diff %.4f, bound 0.02)\n", a, b, d;
+     if (d > 0.02) { print "FAIL: backends disagree beyond 2 x epsilon"; exit 1 }
+   }' || exit 1
 echo "== fault playout determinism smoke: --jobs 1 vs --jobs 4 =="
 # The resilience playout (fault schedule + capacity-aware failover) must
 # be byte-identical at any job count, like the solver above; its console
@@ -181,6 +223,16 @@ VOD_SCALE=quick dune exec --no-print-directory bench/main.exe -- daemon \
   echo "FAIL: daemon exhibit left no checkpoint metrics" >&2
   exit 1
 }
+echo "== decomp bench exhibit (quick scale, checkpointed) =="
+# The solver-backend race (exact-LP anchor + Benders-vs-EPF convergence)
+# must run end to end at quick scale; its checkpointed metrics feed the
+# registry check below so the decomp/* keys stay documented.
+VOD_SCALE=quick dune exec --no-print-directory bench/main.exe -- decomp \
+  --checkpoint "$smoke_dir/ckpt" > /dev/null
+[ -f "$smoke_dir/ckpt/decomp.metrics.json" ] || {
+  echo "FAIL: decomp exhibit left no checkpoint metrics" >&2
+  exit 1
+}
 echo "== bench metrics vs METRICS.md registry =="
 # Run one quick-scale bench exhibit with --metrics and check every
 # emitted key is documented. Normalize instance-specific name parts to
@@ -190,12 +242,13 @@ VOD_SCALE=quick dune exec --no-print-directory bench/main.exe -- table3 \
   --metrics "$smoke_dir/bench_metrics.json" > /dev/null
 sed -n '/<!-- registry:begin/,/registry:end -->/p' METRICS.md \
   | grep -oE '^\| `[^`]+`' | sed 's/^| `//; s/`$//' > "$smoke_dir/registry.txt"
-# The fault and daemon smokes above exported the serving-loop and
-# daemon keys; validate them too, along with the checkpointed daemon
-# exhibit's registry.
+# The fault, daemon and benders smokes above exported the serving-loop,
+# daemon and decomposition keys; validate them too, along with the
+# checkpointed daemon and decomp exhibits' registries.
 keys=$(grep -hoE '^  "[^"]+"' "$smoke_dir/bench_metrics.json" \
   "$smoke_dir/fault_metrics1.json" "$smoke_dir/daemon_metrics1.json" \
-  "$smoke_dir/ckpt/daemon.metrics.json" | tr -d ' "')
+  "$smoke_dir/benders_metrics1.json" "$smoke_dir/ckpt/daemon.metrics.json" \
+  "$smoke_dir/ckpt/decomp.metrics.json" | tr -d ' "')
 [ -n "$keys" ] || { echo "FAIL: bench --metrics emitted no keys" >&2; exit 1; }
 status=0
 for key in $keys; do
